@@ -1,0 +1,67 @@
+// Command crowdstudy regenerates the paper's crowdsourcing analyses
+// (§4.2): dataset statistics, Figures 6–11, Tables 5–6 and the two
+// case studies, from a generated dataset calibrated to the published
+// marginals.
+//
+// Usage:
+//
+//	crowdstudy [-scale F] [-seed N] [-section all|stats|contrib|geo|apps|dns|isps|whatsapp|jio]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/mopeye"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "dataset scale (1.0 = the paper's 5.25M measurements)")
+	seed := flag.Int64("seed", 2016, "generator seed")
+	section := flag.String("section", "all", "which analysis to print")
+	dump := flag.String("dump", "", "also write the raw records as CSV to this file")
+	flag.Parse()
+
+	study := mopeye.NewStudy(*scale, *seed)
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := study.ExportCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote raw records to %s\n", *dump)
+	}
+	switch *section {
+	case "all":
+		fmt.Println(study.ReportAll())
+	case "stats":
+		fmt.Println(study.Summary())
+	case "contrib":
+		fmt.Println(study.ReportContributions())
+	case "geo":
+		fmt.Println(study.ReportCountries())
+	case "apps":
+		fmt.Println(study.ReportAppRTT())
+		fmt.Println(study.ReportApps())
+	case "dns":
+		fmt.Println(study.ReportDNS())
+	case "isps":
+		fmt.Println(study.ReportISPs())
+	case "whatsapp":
+		fmt.Println(study.ReportCaseWhatsapp())
+	case "jio":
+		fmt.Println(study.ReportCaseJio())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown section %q\n", *section)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,146 @@
+// Command mopeye runs the MopEye engine over a simulated phone and
+// workload and prints the opportunistic per-app measurements, like
+// watching the app's all-app view (Figure 1a) fill up.
+//
+// Usage:
+//
+//	mopeye [-apps N] [-conns N] [-pages N] [-realistic] [-variant mopeye|toyvpn|haystack]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/baselines/haystack"
+	"repro/internal/engine"
+	"repro/mopeye"
+)
+
+func main() {
+	apps := flag.Int("apps", 4, "number of simulated apps")
+	pages := flag.Int("pages", 6, "workload rounds per app")
+	conns := flag.Int("conns", 4, "concurrent connections per round")
+	realistic := flag.Bool("realistic", true, "enable Android-like cost models")
+	variant := flag.String("variant", "mopeye", "engine variant: mopeye, toyvpn or haystack")
+	flag.Parse()
+
+	var cfg engine.Config
+	switch *variant {
+	case "mopeye":
+		cfg = engine.Default()
+	case "toyvpn":
+		cfg = engine.ToyVpn()
+	case "haystack":
+		cfg = haystack.Config()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+
+	servers := []mopeye.Server{
+		{Domain: "social.example.com", RTTMillis: 61, Behaviour: mopeye.Chatty},
+		{Domain: "video.example.com", RTTMillis: 32, Behaviour: mopeye.Chatty},
+		{Domain: "chat.example.com", RTTMillis: 133, Behaviour: mopeye.Chatty},
+		{Domain: "shop.example.com", RTTMillis: 59, Behaviour: mopeye.Chatty},
+		{Domain: "maps.example.com", RTTMillis: 38, Behaviour: mopeye.Chatty},
+	}
+	phone, err := mopeye.New(mopeye.Options{
+		Servers:        servers,
+		Engine:         &cfg,
+		RealisticCosts: *realistic,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer phone.Close()
+
+	pkgs := []string{
+		"com.facebook.katana", "com.google.android.youtube",
+		"com.whatsapp", "com.amazon.shopping", "com.google.android.apps.maps",
+	}
+	if *apps > len(pkgs) {
+		*apps = len(pkgs)
+	}
+	for i := 0; i < *apps; i++ {
+		phone.InstallApp(10001+i, pkgs[i])
+	}
+
+	fmt.Printf("running %s engine: %d apps x %d rounds x %d connections...\n",
+		*variant, *apps, *pages, *conns)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for a := 0; a < *apps; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			dst := servers[a%len(servers)].Domain + ":443"
+			uid := 10001 + a
+			for p := 0; p < *pages; p++ {
+				var inner sync.WaitGroup
+				for c := 0; c < *conns; c++ {
+					inner.Add(1)
+					go func() {
+						defer inner.Done()
+						conn, err := phone.Connect(uid, dst)
+						if err != nil {
+							return
+						}
+						defer conn.Close()
+						if _, err := conn.Write([]byte{0, 0, 8, 0}); err != nil {
+							return
+						}
+						buf := make([]byte, 2048)
+						_ = conn.ReadFull(buf)
+					}()
+				}
+				inner.Wait()
+			}
+		}(a)
+	}
+	wg.Wait()
+	time.Sleep(200 * time.Millisecond)
+
+	st := phone.EngineStats()
+	fmt.Printf("done in %v: %d SYNs, %d established, %d failures, %d pure ACKs discarded\n",
+		time.Since(start).Round(time.Millisecond), st.SYNs, st.Established,
+		st.ConnectFailures, st.PureACKs)
+	fmt.Printf("mapping: %d resolutions, %d parses, mitigation %.0f%%\n\n",
+		st.Mapping.Resolutions, st.Mapping.Parses, st.Mapping.MitigationRate()*100)
+
+	fmt.Println("per-app view (median RTT, like Figure 1a):")
+	meds := phone.AppMedians(1)
+	names := make([]string, 0, len(meds))
+	for n := range meds {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return meds[names[i]] < meds[names[j]] })
+	for _, n := range names {
+		count := 0
+		for _, m := range phone.TCPMeasurements() {
+			if m.App == n {
+				count++
+			}
+		}
+		fmt.Printf("  %-36s %6.1f ms  (%d measurements)\n", n, meds[n], count)
+	}
+	fmt.Printf("\nDNS: %d measurements, median %.1f ms\n",
+		len(phone.DNSMeasurements()), medianMS(phone))
+}
+
+func medianMS(p *mopeye.Phone) float64 {
+	recs := p.DNSMeasurements()
+	if len(recs) == 0 {
+		return 0
+	}
+	ms := make([]float64, len(recs))
+	for i, r := range recs {
+		ms[i] = r.RTT.Seconds() * 1000
+	}
+	sort.Float64s(ms)
+	return ms[len(ms)/2]
+}

@@ -1,0 +1,105 @@
+// Command paperbench runs the §4.1 evaluation experiments — measurement
+// accuracy and relay overhead — and prints each table/figure in the
+// paper's layout.
+//
+// Usage:
+//
+//	paperbench [-exp all|table1|table2|table3|table4|fig5] [-fast]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/mopeye"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig5, overhead")
+	fast := flag.Bool("fast", false, "smaller workloads / shorter runs")
+	flag.Parse()
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			o := mopeye.DefaultTable1Options()
+			if *fast {
+				o.Pages = 6
+			}
+			res, err := mopeye.RunTable1(o)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Table 1 — delay of writing packets to the VPN tunnel:")
+			fmt.Println(res)
+		case "table2":
+			o := mopeye.DefaultTable2Options()
+			if *fast {
+				o.RunsPerDest = 1
+			}
+			rows, err := mopeye.RunTable2(o)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Table 2 — measurement accuracy of MopEye and MobiPerf (ms):")
+			fmt.Println(mopeye.RenderTable2(rows))
+		case "table3":
+			o := mopeye.DefaultTable3Options()
+			if *fast {
+				o.Duration = time.Second
+			}
+			res, err := mopeye.RunTable3(o)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Table 3 — download and upload throughput overhead (Mbps):")
+			fmt.Println(res)
+		case "table4":
+			o := mopeye.DefaultTable4Options()
+			if *fast {
+				o.Duration = 1500 * time.Millisecond
+			}
+			res, err := mopeye.RunTable4(o)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Table 4 — resource overhead during a streamed video:")
+			fmt.Println(res)
+		case "overhead":
+			o := mopeye.DefaultLatencyOverheadOptions()
+			if *fast {
+				o.Rounds = 12
+			}
+			res, err := mopeye.RunLatencyOverhead(o)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(res)
+		case "fig5":
+			o := mopeye.DefaultFig5Options()
+			if *fast {
+				o.Pages = 10
+			}
+			res, err := mopeye.RunFig5(o)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(res)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table1", "table2", "table3", "table4", "fig5", "overhead"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "MopEye:
+// Opportunistic Monitoring of Per-app Mobile Network Performance"
+// (Wu, Chang, Li, Cheng, Gao — USENIX ATC 2017).
+//
+// The public API lives in package repro/mopeye; the engine and its
+// substrates live under internal/. See README.md for the architecture,
+// DESIGN.md for the system inventory and substitution decisions, and
+// EXPERIMENTS.md for paper-vs-measured results of every table and
+// figure.
+package repro

@@ -1,0 +1,20 @@
+// Command crowdreport generates a scaled replica of the paper's
+// crowdsourced dataset (§4.2) and prints every analysis: dataset
+// statistics, Figures 6–11, Tables 5–6, and both case studies.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/mopeye"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "dataset scale (1.0 = the paper's 5.25M measurements)")
+	seed := flag.Int64("seed", 2016, "generator seed")
+	flag.Parse()
+
+	study := mopeye.NewStudy(*scale, *seed)
+	fmt.Println(study.ReportAll())
+}

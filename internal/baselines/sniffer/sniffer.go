@@ -1,0 +1,96 @@
+// Package sniffer is the tcpdump stand-in: it taps the simulated
+// network at the phone's interface and derives ground-truth RTTs by
+// pairing each connection's SYN with its SYN-ACK, exactly how the paper
+// validates MopEye's accuracy (§4.1.1, Table 2).
+package sniffer
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Sample is one ground-truth handshake RTT.
+type Sample struct {
+	Local  netip.AddrPort
+	Remote netip.AddrPort
+	SYNAt  int64
+	RTT    time.Duration
+}
+
+// Sniffer records wire events and pairs handshakes.
+type Sniffer struct {
+	mu      sync.Mutex
+	pending map[netip.AddrPort]int64 // local -> SYN time (latest attempt)
+	samples []Sample
+	events  []netsim.WireEvent
+	keepAll bool
+}
+
+// New creates a sniffer and attaches it to the network.
+func New(n *netsim.Network) *Sniffer {
+	s := &Sniffer{pending: make(map[netip.AddrPort]int64)}
+	n.AddSniffer(s.observe)
+	return s
+}
+
+// KeepEvents retains the full event trace (like writing a pcap), not
+// just handshake samples.
+func (s *Sniffer) KeepEvents() { s.mu.Lock(); s.keepAll = true; s.mu.Unlock() }
+
+func (s *Sniffer) observe(ev netsim.WireEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.keepAll {
+		s.events = append(s.events, ev)
+	}
+	switch ev.Kind {
+	case netsim.EventSYN:
+		// A retransmitted SYN overwrites the earlier timestamp: tcpdump
+		// users pair the SYN-ACK with the SYN that elicited it.
+		s.pending[ev.Local] = ev.At
+	case netsim.EventSYNACK:
+		if at, ok := s.pending[ev.Local]; ok {
+			delete(s.pending, ev.Local)
+			s.samples = append(s.samples, Sample{
+				Local:  ev.Local,
+				Remote: ev.Remote,
+				SYNAt:  at,
+				RTT:    time.Duration(ev.At - at),
+			})
+		}
+	case netsim.EventRST:
+		delete(s.pending, ev.Local)
+	}
+}
+
+// Samples returns all handshake RTTs observed so far.
+func (s *Sniffer) Samples() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Sample(nil), s.samples...)
+}
+
+// RTTsTo returns the RTTs of handshakes to one destination, in
+// milliseconds.
+func (s *Sniffer) RTTsTo(remote netip.AddrPort) []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []float64
+	for _, smp := range s.samples {
+		if smp.Remote == remote {
+			out = append(out, smp.RTT.Seconds()*1000)
+		}
+	}
+	return out
+}
+
+// Events returns the retained trace (empty unless KeepEvents was
+// called).
+func (s *Sniffer) Events() []netsim.WireEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]netsim.WireEvent(nil), s.events...)
+}

@@ -1,0 +1,101 @@
+package sniffer
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/netsim"
+)
+
+var (
+	client = netip.MustParseAddrPort("100.64.0.5:40000")
+	server = netip.MustParseAddrPort("93.184.216.34:80")
+)
+
+func TestHandshakePairing(t *testing.T) {
+	clk := clock.NewReal()
+	net := netsim.New(clk, netsim.LinkParams{Delay: 3 * time.Millisecond}, 1)
+	defer net.Close()
+	net.HandleTCP(server, netsim.EchoHandler())
+	s := New(net)
+	c, err := net.Dial(client, server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	samples := s.Samples()
+	if len(samples) != 1 {
+		t.Fatalf("samples: %d", len(samples))
+	}
+	if samples[0].Remote != server {
+		t.Errorf("remote: %v", samples[0].Remote)
+	}
+	ms := samples[0].RTT.Seconds() * 1000
+	if ms < 6 || ms > 40 {
+		t.Errorf("RTT %.2f ms, configured 6", ms)
+	}
+	if got := s.RTTsTo(server); len(got) != 1 {
+		t.Errorf("RTTsTo: %v", got)
+	}
+}
+
+func TestRefusedConnectionNotPaired(t *testing.T) {
+	clk := clock.NewReal()
+	net := netsim.New(clk, netsim.LinkParams{Delay: time.Millisecond}, 1)
+	defer net.Close()
+	s := New(net)
+	if _, err := net.Dial(client, server); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+	if got := s.Samples(); len(got) != 0 {
+		t.Errorf("refused connect produced samples: %v", got)
+	}
+}
+
+func TestRetransmittedSYNUsesLatestAttempt(t *testing.T) {
+	clk := clock.NewReal()
+	net := netsim.New(clk, netsim.LinkParams{Delay: time.Millisecond, Loss: 0.6}, 5)
+	defer net.Close()
+	net.SetSYNRetry(5*time.Millisecond, 20)
+	net.HandleTCP(server, netsim.EchoHandler())
+	s := New(net)
+	c, err := net.Dial(client, server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	samples := s.Samples()
+	if len(samples) != 1 {
+		t.Fatalf("samples: %d", len(samples))
+	}
+	// The RTT must reflect one handshake, not the whole retry sequence
+	// (each retry costs a 5 ms RTO on top of the 2 ms RTT).
+	if samples[0].RTT > 4*time.Millisecond+2*time.Millisecond*10 {
+		t.Errorf("paired across retransmissions: %v", samples[0].RTT)
+	}
+}
+
+func TestKeepEvents(t *testing.T) {
+	clk := clock.NewReal()
+	net := netsim.New(clk, netsim.LinkParams{Delay: time.Millisecond}, 1)
+	defer net.Close()
+	net.HandleTCP(server, netsim.EchoHandler())
+	s := New(net)
+	s.KeepEvents()
+	c, err := net.Dial(client, server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = c.Write([]byte("x"))
+	c.Close()
+	time.Sleep(5 * time.Millisecond)
+	evs := s.Events()
+	if len(evs) < 3 { // SYN, SYN-ACK, data
+		t.Errorf("events: %d", len(evs))
+	}
+	if evs[0].Kind != netsim.EventSYN {
+		t.Errorf("first event: %v", evs[0].Kind)
+	}
+}

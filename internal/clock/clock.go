@@ -1,0 +1,179 @@
+// Package clock abstracts time so that engine components can run against
+// either the wall clock or a deterministic virtual clock in tests.
+//
+// The MopEye engine measures round-trip times with sub-millisecond
+// resolution, so the interface exposes a monotonic nanosecond reading in
+// addition to wall-clock time.
+package clock
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Clock is a source of time and timers.
+type Clock interface {
+	// Now returns the current wall-clock time.
+	Now() time.Time
+	// Nanos returns a monotonic reading in nanoseconds. Two calls may be
+	// subtracted to obtain an elapsed duration.
+	Nanos() int64
+	// Sleep blocks the caller for d.
+	Sleep(d time.Duration)
+	// SleepFine blocks for d with sub-scheduler-quantum precision. The
+	// engine uses it when charging modelled costs whose magnitude is
+	// itself the measurement (e.g. the ~0.1 ms tunnel write cost of
+	// Table 1), where ordinary Sleep's overshoot would contaminate the
+	// histogram buckets.
+	SleepFine(d time.Duration)
+	// After returns a channel that delivers the then-current time once d
+	// has elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+// NewReal returns the wall clock.
+func NewReal() Real { return Real{} }
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Nanos implements Clock. It uses the runtime monotonic clock carried by
+// time.Time.
+func (Real) Nanos() int64 { return time.Since(baseline).Nanoseconds() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// SleepFine implements Clock: it sleeps for the bulk of the duration,
+// then spins the final stretch so the elapsed time tracks d to within
+// a few microseconds instead of the scheduler quantum.
+func (r Real) SleepFine(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := r.Nanos() + int64(d)
+	const spinWindow = 300 * time.Microsecond
+	if d > spinWindow {
+		time.Sleep(d - spinWindow)
+	}
+	for r.Nanos() < deadline {
+		runtime.Gosched()
+	}
+}
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// baseline anchors the monotonic reading of Real so that Nanos values are
+// small and positive for the lifetime of the process.
+var baseline = time.Now()
+
+// Virtual is a manually advanced clock for deterministic tests. Sleepers
+// and timers fire only when Advance moves time past their deadline.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterHeap
+	seq     int64
+}
+
+// NewVirtual returns a virtual clock starting at the given time.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+type waiter struct {
+	deadline time.Time
+	seq      int64 // tie-break so firing order is stable
+	ch       chan time.Time
+}
+
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].deadline.Equal(h[j].deadline) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].deadline.Before(h[j].deadline)
+}
+func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x interface{}) { *h = append(*h, x.(*waiter)) }
+func (h *waiterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	*h = old[:n-1]
+	return w
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Nanos implements Clock.
+func (v *Virtual) Nanos() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now.UnixNano()
+}
+
+// SleepFine implements Clock; virtual time is exact by construction.
+func (v *Virtual) SleepFine(d time.Duration) { v.Sleep(d) }
+
+// Sleep implements Clock. It blocks until Advance moves the clock past
+// the deadline.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-v.After(d)
+}
+
+// After implements Clock.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- v.now
+		return ch
+	}
+	v.seq++
+	heap.Push(&v.waiters, &waiter{deadline: v.now.Add(d), seq: v.seq, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d, firing every timer whose deadline
+// is reached, in deadline order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	target := v.now.Add(d)
+	var fired []*waiter
+	for v.waiters.Len() > 0 && !v.waiters[0].deadline.After(target) {
+		w := heap.Pop(&v.waiters).(*waiter)
+		v.now = w.deadline
+		fired = append(fired, w)
+	}
+	v.now = target
+	v.mu.Unlock()
+	for _, w := range fired {
+		w.ch <- w.deadline
+	}
+}
+
+// Pending reports how many timers have not yet fired. Useful for test
+// synchronisation.
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.waiters.Len()
+}

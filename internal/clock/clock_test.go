@@ -1,0 +1,125 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealClockMonotone(t *testing.T) {
+	c := NewReal()
+	a := c.Nanos()
+	time.Sleep(2 * time.Millisecond)
+	b := c.Nanos()
+	if b <= a {
+		t.Errorf("Nanos not increasing: %d then %d", a, b)
+	}
+	if d := b - a; d < int64(time.Millisecond) {
+		t.Errorf("elapsed %v, slept 2ms", time.Duration(d))
+	}
+}
+
+func TestRealSleep(t *testing.T) {
+	c := NewReal()
+	start := time.Now()
+	c.Sleep(5 * time.Millisecond)
+	if time.Since(start) < 4*time.Millisecond {
+		t.Error("Sleep returned early")
+	}
+}
+
+func TestVirtualNow(t *testing.T) {
+	start := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	v := NewVirtual(start)
+	if !v.Now().Equal(start) {
+		t.Errorf("Now = %v", v.Now())
+	}
+	v.Advance(time.Hour)
+	if !v.Now().Equal(start.Add(time.Hour)) {
+		t.Errorf("after advance: %v", v.Now())
+	}
+}
+
+func TestVirtualSleepBlocksUntilAdvance(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(10 * time.Second)
+		close(done)
+	}()
+	// Wait until the sleeper has registered.
+	for v.Pending() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before Advance")
+	case <-time.After(10 * time.Millisecond):
+	}
+	v.Advance(9 * time.Second)
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before its deadline")
+	case <-time.After(10 * time.Millisecond):
+	}
+	v.Advance(time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep never returned")
+	}
+}
+
+func TestVirtualAfterOrdering(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	ch1 := v.After(time.Second)
+	ch2 := v.After(2 * time.Second)
+	v.Advance(3 * time.Second)
+	t1 := <-ch1
+	t2 := <-ch2
+	if !t1.Before(t2) {
+		t.Errorf("timers fired out of order: %v then %v", t1, t2)
+	}
+}
+
+func TestVirtualAfterZero(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	select {
+	case <-v.After(0):
+	case <-time.After(time.Second):
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestVirtualManySleepers(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	const n = 50
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v.Sleep(time.Duration(i+1) * time.Millisecond)
+		}(i)
+	}
+	for v.Pending() < n {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(time.Second)
+	doneCh := make(chan struct{})
+	go func() { wg.Wait(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("sleepers stuck; pending=%d", v.Pending())
+	}
+}
+
+func TestVirtualNanos(t *testing.T) {
+	v := NewVirtual(time.Unix(100, 0))
+	a := v.Nanos()
+	v.Advance(time.Millisecond)
+	if v.Nanos()-a != int64(time.Millisecond) {
+		t.Errorf("delta = %d", v.Nanos()-a)
+	}
+}

@@ -1,0 +1,201 @@
+package crowd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/measure"
+	"repro/internal/stats"
+)
+
+// This file reproduces the two §4.2.2 case studies.
+
+// WhatsappCase is Case 1: the hosting split behind Whatsapp's poor
+// median.
+type WhatsappCase struct {
+	TotalDomains     int
+	SlowDomainMedian float64 // median RTT over all SoftLayer-domain traffic
+	FastDomainNames  []string
+	FastMedians      map[string]float64
+	// DomainMediansOver200 counts slow domains whose own median exceeds
+	// 200 ms (the paper: all except three domains).
+	DomainsMeasured      int
+	DomainMediansOver200 int
+	// NetworkMedians is the per-network breakdown over the most
+	// accessed networks (paper: 20 networks, only two under 100 ms).
+	NetworkMedians map[string]float64
+}
+
+// AnalyzeWhatsapp runs Case 1 on the dataset.
+func AnalyzeWhatsapp(ds *Dataset) *WhatsappCase {
+	recs := measure.ByApp(ds.TCP())["com.whatsapp"]
+	fast := map[string]bool{
+		"mme.whatsapp.net": true, "mmg.whatsapp.net": true, "pps.whatsapp.net": true,
+	}
+	c := &WhatsappCase{
+		FastMedians:    make(map[string]float64),
+		NetworkMedians: make(map[string]float64),
+	}
+	byDomain := measure.ByDomain(recs)
+	var slowAll []float64
+	perNetwork := make(map[string][]float64)
+	domains := 0
+	for dom, rs := range byDomain {
+		if !strings.HasSuffix(dom, ".whatsapp.net") {
+			continue
+		}
+		domains++
+		ms := measure.RTTMillis(rs)
+		if fast[dom] {
+			c.FastDomainNames = append(c.FastDomainNames, dom)
+			c.FastMedians[dom] = stats.Median(ms)
+			continue
+		}
+		slowAll = append(slowAll, ms...)
+		if len(rs) >= 3 {
+			c.DomainsMeasured++
+			if stats.Median(ms) > 200 {
+				c.DomainMediansOver200++
+			}
+		}
+		for _, r := range rs {
+			key := r.ISP + "/" + r.NetType
+			perNetwork[key] = append(perNetwork[key], r.RTT.Seconds()*1000)
+		}
+	}
+	sort.Strings(c.FastDomainNames)
+	c.TotalDomains = domains
+	c.SlowDomainMedian = stats.Median(slowAll)
+	// Keep the most accessed networks, the paper's "20 most accessed".
+	type nk struct {
+		key string
+		n   int
+	}
+	var keys []nk
+	for k, v := range perNetwork {
+		keys = append(keys, nk{k, len(v)})
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].n > keys[j].n })
+	for i, k := range keys {
+		if i >= 20 {
+			break
+		}
+		c.NetworkMedians[k.key] = stats.Median(perNetwork[k.key])
+	}
+	return c
+}
+
+// String renders Case 1.
+func (c *WhatsappCase) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Case 1 — Whatsapp (*.whatsapp.net):\n")
+	fmt.Fprintf(&b, "  domains observed: %d; SoftLayer-hosted traffic median: %.0f ms\n",
+		c.TotalDomains, c.SlowDomainMedian)
+	for _, d := range c.FastDomainNames {
+		fmt.Fprintf(&b, "  CDN-hosted %s median: %.0f ms\n", d, c.FastMedians[d])
+	}
+	fmt.Fprintf(&b, "  slow domains with median >200 ms: %d of %d measured\n",
+		c.DomainMediansOver200, c.DomainsMeasured)
+	under100 := 0
+	for _, m := range c.NetworkMedians {
+		if m < 100 {
+			under100++
+		}
+	}
+	fmt.Fprintf(&b, "  top networks with median <100 ms: %d of %d\n",
+		under100, len(c.NetworkMedians))
+	return b.String()
+}
+
+// JioCase is Case 2: India's largest 4G ISP underperforming on app
+// traffic despite healthy DNS.
+type JioCase struct {
+	AppMedian float64 // median app-traffic RTT on Jio
+	DNSMedian float64 // median DNS RTT on Jio
+	AppN      int
+	// Domain medians on Jio, bucketed as the paper reports.
+	DomainsMeasured int
+	Under100        int
+	Over200         int
+	Over300         int
+	Over400         int
+	// NonJio comparison: of domains measured on both Jio and other LTE
+	// networks, how many are faster elsewhere and by how much.
+	ComparedDomains int
+	FasterOffJio    int
+	MeanAdvantageMS float64
+}
+
+// AnalyzeJio runs Case 2.
+func AnalyzeJio(ds *Dataset) *JioCase {
+	c := &JioCase{}
+	minPer := ds.ScaledThreshold(100)
+
+	var jioApp, jioDNS []float64
+	jioDomains := make(map[string][]float64)
+	otherLTEDomains := make(map[string][]float64)
+	for _, r := range ds.Records {
+		onJio := r.ISP == "Jio 4G" && r.NetType != "WiFi"
+		ms := r.RTT.Seconds() * 1000
+		if r.Kind == measure.KindDNS {
+			if onJio {
+				jioDNS = append(jioDNS, ms)
+			}
+			continue
+		}
+		if onJio {
+			jioApp = append(jioApp, ms)
+			jioDomains[r.Domain] = append(jioDomains[r.Domain], ms)
+		} else if r.NetType == "LTE" {
+			otherLTEDomains[r.Domain] = append(otherLTEDomains[r.Domain], ms)
+		}
+	}
+	c.AppMedian = stats.Median(jioApp)
+	c.DNSMedian = stats.Median(jioDNS)
+	c.AppN = len(jioApp)
+	var advantages []float64
+	for dom, ms := range jioDomains {
+		if len(ms) < minPer {
+			continue
+		}
+		c.DomainsMeasured++
+		m := stats.Median(ms)
+		if m < 100 {
+			c.Under100++
+		}
+		if m > 200 {
+			c.Over200++
+		}
+		if m > 300 {
+			c.Over300++
+		}
+		if m > 400 {
+			c.Over400++
+		}
+		if other, ok := otherLTEDomains[dom]; ok && len(other) >= minPer {
+			c.ComparedDomains++
+			om := stats.Median(other)
+			if om < m {
+				c.FasterOffJio++
+				advantages = append(advantages, m-om)
+			}
+		}
+	}
+	c.MeanAdvantageMS = stats.Mean(advantages)
+	return c
+}
+
+// String renders Case 2.
+func (c *JioCase) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Case 2 — Jio 4G (India):\n")
+	fmt.Fprintf(&b, "  app-traffic median: %.0f ms over %d measurements; DNS median: %.0f ms\n",
+		c.AppMedian, c.AppN, c.DNSMedian)
+	fmt.Fprintf(&b, "  of %d domains measured on Jio: %d under 100 ms, %d over 200, %d over 300, %d over 400\n",
+		c.DomainsMeasured, c.Under100, c.Over200, c.Over300, c.Over400)
+	fmt.Fprintf(&b, "  vs other LTE networks: %d/%d domains faster off Jio, by %.0f ms on average\n",
+		c.FasterOffJio, c.ComparedDomains, c.MeanAdvantageMS)
+	fmt.Fprintf(&b, "  diagnosis: healthy first hop (DNS) with inflated end-to-end RTT puts the root cause in the LTE core network\n")
+	return b.String()
+}

@@ -1,0 +1,332 @@
+package crowd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LatLon is one measurement location (Figure 8).
+type LatLon struct {
+	Lat, Lon float64
+}
+
+// Device is one contributing phone.
+type Device struct {
+	ID      string
+	Country string
+	Model   string
+	CellISP string
+	WiFiISP string
+	// WiFiShare is this device's fraction of measurements on WiFi.
+	WiFiShare float64
+	// Gen is the device's cellular capability: "LTE", "3G" or "2G".
+	Gen string
+	// Locations are the spots this device measured from.
+	Locations []LatLon
+	// Activity is the device's target measurement count.
+	Activity int
+}
+
+// activityBucket describes one Figure 6(a) bar at full scale.
+type activityBucket struct {
+	Devices  int
+	MinCount int
+	MaxCount int
+}
+
+// fig6aBuckets is Figure 6(a): 104 devices above 10K measurements, 70
+// in 5–10K, 288 in 1–5K, 575 in 100–1K, and the rest below 100.
+var fig6aBuckets = []activityBucket{
+	{Devices: 104, MinCount: 10000, MaxCount: 45000},
+	{Devices: 70, MinCount: 5000, MaxCount: 10000},
+	{Devices: 288, MinCount: 1000, MaxCount: 5000},
+	{Devices: 575, MinCount: 100, MaxCount: 1000},
+	{Devices: PaperDevices - 104 - 70 - 288 - 575, MinCount: 1, MaxCount: 100},
+}
+
+// countryPopulation expands Figure 7 into per-device country
+// assignments covering all 114 countries.
+func countryPopulation(rng *rand.Rand, devices int) []countrySpec {
+	// Weights: top-20 counts verbatim, tail countries share the rest.
+	specs := make([]countrySpec, 0, len(topCountries)+len(tailCountryNames))
+	totalTop := 0
+	for _, c := range topCountries {
+		specs = append(specs, c)
+		totalTop += c.Users
+	}
+	// The paper's top 20 sum to ~1370 of 2351 devices; spread the rest
+	// over the tail with a gently decaying weight, minimum 1.
+	remaining := PaperDevices - totalTop
+	nTail := PaperCountries - len(topCountries)
+	for i := 0; i < nTail && i < len(tailCountryNames); i++ {
+		w := int(float64(remaining) * decayShare(i, nTail))
+		if w < 1 {
+			w = 1
+		}
+		specs = append(specs, countrySpec{
+			Name:  tailCountryNames[i],
+			Users: w,
+			Lat:   rng.Float64()*140 - 50,
+			Lon:   rng.Float64()*360 - 180,
+			ISPs:  []string{tailCountryNames[i] + " Mobile", tailCountryNames[i] + " Telecom"},
+		})
+	}
+	return specs
+}
+
+// decayShare is a normalised geometric decay across n slots.
+func decayShare(i, n int) float64 {
+	const r = 0.96
+	norm := (1 - math.Pow(r, float64(n))) / (1 - r)
+	return math.Pow(r, float64(i)) / norm
+}
+
+// ispWeight returns the device-share weight of one cellular ISP within
+// its country, proportional to its Table 6 measurement volume when
+// listed.
+func ispWeight(name string) float64 {
+	for _, s := range lteISPs {
+		if s.Name == name {
+			return float64(s.PaperN)
+		}
+	}
+	return 2500 // unlisted operators get a small share
+}
+
+// generateDevices builds the device population at the given scale.
+func generateDevices(rng *rand.Rand, scale float64) []*Device {
+	countries := countryPopulation(rng, PaperDevices)
+	var countryCum []float64
+	var total float64
+	for _, c := range countries {
+		total += float64(c.Users)
+		countryCum = append(countryCum, total)
+	}
+	pickCountry := func() countrySpec {
+		x := rng.Float64() * total
+		lo, hi := 0, len(countryCum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if countryCum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return countries[lo]
+	}
+
+	var devices []*Device
+	countryFrag := make(map[string]int)
+	id := 0
+	for _, b := range fig6aBuckets {
+		n := int(math.Round(float64(b.Devices) * scale))
+		if n == 0 && b.Devices > 0 && scale > 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			id++
+			c := pickCountry()
+			d := &Device{
+				ID:        fmt.Sprintf("device-%04d", id),
+				Country:   c.Name,
+				Model:     phoneModel(rng, id),
+				WiFiISP:   "WiFi " + c.Name,
+				WiFiShare: clamp(rng.NormFloat64()*0.18+wifiShare, 0.05, 0.95),
+			}
+			if hasListedISP(c) {
+				// Cellular ISP weighted by Table 6 volume.
+				var wsum float64
+				for _, isp := range c.ISPs {
+					wsum += ispWeight(isp)
+				}
+				x := rng.Float64() * wsum
+				for _, isp := range c.ISPs {
+					x -= ispWeight(isp)
+					if x <= 0 {
+						d.CellISP = isp
+						break
+					}
+				}
+				if d.CellISP == "" && len(c.ISPs) > 0 {
+					d.CellISP = c.ISPs[0]
+				}
+			} else {
+				// Countries without a Table 6 operator: their users
+				// leaned on WiFi in the dataset (no unlisted operator
+				// cracks the DNS top 15), and their cellular volume is
+				// spread across many regional operators.
+				d.WiFiShare = clamp(rng.NormFloat64()*0.06+0.86, 0.6, 0.97)
+				frag := countryFrag[c.Name]
+				countryFrag[c.Name]++
+				d.CellISP = fmt.Sprintf("%s Mobile %d", c.Name, frag/4+1)
+			}
+			// Cellular generation: most devices are LTE; Cricket and
+			// U.S. Cellular users fall back to 3G often (Figure 11).
+			d.Gen = "LTE"
+			switch {
+			case rng.Float64() < nonLTEShareFor(d.CellISP):
+				d.Gen = "3G"
+			case rng.Float64() < 0.02:
+				d.Gen = "2G"
+			}
+			// Activity: log-uniform within the bucket. This is a
+			// sampling weight at full scale; realized counts shrink
+			// with Config.Scale automatically because the record total
+			// does.
+			span := math.Log(float64(b.MaxCount) / float64(b.MinCount))
+			d.Activity = int(float64(b.MinCount) * math.Exp(rng.Float64()*span))
+			if d.Activity < 1 {
+				d.Activity = 1
+			}
+			// Locations: a handful of spots near the country centroid
+			// (Figure 8 plots 6,987 across 2,351 devices, ~3 each).
+			nLoc := 1 + rng.Intn(5)
+			for l := 0; l < nLoc; l++ {
+				d.Locations = append(d.Locations, LatLon{
+					Lat: clamp(c.Lat+rng.NormFloat64()*4, -85, 85),
+					Lon: wrapLon(c.Lon + rng.NormFloat64()*6),
+				})
+			}
+			devices = append(devices, d)
+		}
+	}
+	reconcileISPVolumes(rng, devices)
+	return devices
+}
+
+// reconcileISPVolumes rescales device activity weights so that each
+// Table 6 operator's expected DNS volume matches its published count.
+// Only the 15 listed operators' device groups are touched; everyone
+// else keeps the Figure 6(a) bucket draw. The upward cases encode
+// that, e.g., Singtel's 34,609 DNS RTTs came from just 13 Singaporean
+// devices — those users were simply heavy; the downward cases stop a
+// single tail-heavy device from handing a small operator an outsized
+// volume.
+func reconcileISPVolumes(rng *rand.Rand, devices []*Device) {
+	dnsShare := float64(PaperDNSMeasurements) / float64(PaperTotalMeasurements)
+	groups := make(map[string][]*Device)
+	for _, d := range devices {
+		groups[d.CellISP] = append(groups[d.CellISP], d)
+	}
+	// Guarantee every Table 6 ISP has at least one device: convert the
+	// least active device of an unlisted group.
+	for _, spec := range lteISPs {
+		if len(groups[spec.Name]) > 0 {
+			continue
+		}
+		var victim *Device
+		for _, d := range devices {
+			if _, listed := lteSpecFor(d.CellISP); listed {
+				continue
+			}
+			if victim == nil || d.Activity < victim.Activity {
+				victim = d
+			}
+		}
+		if victim == nil {
+			continue
+		}
+		groups[victim.CellISP] = removeDevice(groups[victim.CellISP], victim)
+		victim.CellISP = spec.Name
+		victim.Country = spec.Country
+		victim.WiFiISP = "WiFi " + spec.Country
+		victim.WiFiShare = clamp(rng.NormFloat64()*0.15+0.45, 0.1, 0.8)
+		groups[spec.Name] = append(groups[spec.Name], victim)
+	}
+	var sumAll float64
+	for _, d := range devices {
+		sumAll += float64(d.Activity)
+	}
+	for _, spec := range lteISPs {
+		ds := groups[spec.Name]
+		var cur float64
+		for _, d := range ds {
+			cur += float64(d.Activity) * (1 - d.WiFiShare)
+		}
+		if cur <= 0 {
+			continue
+		}
+		want := float64(spec.PaperN) * sumAll / (float64(PaperTotalMeasurements) * dnsShare)
+		ratio := want / cur
+		for _, d := range ds {
+			d.Activity = int(float64(d.Activity)*ratio) + 1
+		}
+	}
+	// Cap every unlisted operator below the smallest Table 6 entry by
+	// shifting its heavy users toward WiFi: activity (and so the
+	// Figure 6a histogram) is preserved, only the access mix moves.
+	capN := 1800.0 // full-scale DNS RTTs, under U.S. Cellular's 1,988
+	capWeight := capN * sumAll / (float64(PaperTotalMeasurements) * dnsShare)
+	for isp, ds := range groups {
+		if _, listed := lteSpecFor(isp); listed {
+			continue
+		}
+		var cur float64
+		for _, d := range ds {
+			cur += float64(d.Activity) * (1 - d.WiFiShare)
+		}
+		if cur <= capWeight {
+			continue
+		}
+		f := capWeight / cur
+		for _, d := range ds {
+			d.WiFiShare = 1 - (1-d.WiFiShare)*f
+		}
+	}
+}
+
+// hasListedISP reports whether the country hosts a Table 6 operator.
+func hasListedISP(c countrySpec) bool {
+	for _, isp := range c.ISPs {
+		if _, ok := lteSpecFor(isp); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func removeDevice(ds []*Device, target *Device) []*Device {
+	for i, d := range ds {
+		if d == target {
+			return append(ds[:i], ds[i+1:]...)
+		}
+	}
+	return ds
+}
+
+// nonLTEShareFor returns the ISP's fallback probability.
+func nonLTEShareFor(isp string) float64 {
+	for _, s := range lteISPs {
+		if s.Name == isp && s.NonLTEShare > 0 {
+			return s.NonLTEShare
+		}
+	}
+	return 0.05
+}
+
+func phoneModel(rng *rand.Rand, id int) string {
+	m := manufacturers[rng.Intn(len(manufacturers))]
+	return fmt.Sprintf("%s-%d", m, id%(PaperPhoneModels/len(manufacturers))+1)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func wrapLon(l float64) float64 {
+	for l > 180 {
+		l -= 360
+	}
+	for l < -180 {
+		l += 360
+	}
+	return l
+}

@@ -1,0 +1,205 @@
+// Package crowd models the paper's ten-month Google Play deployment
+// (§4.2) and regenerates its analyses: the dataset statistics (§4.2.1),
+// the per-app measurement figures and tables (§4.2.2), and the DNS
+// analyses (§4.2.3).
+//
+// The real study collected 5,252,758 RTT records from 2,351 devices in
+// 114 countries; that population cannot be re-run, so this package
+// substitutes a statistical generator calibrated to every marginal the
+// paper publishes (country distribution, per-ISP DNS medians, per-app
+// medians and counts, network-type splits, the Whatsapp hosting split,
+// Jio's LTE-core inflation). The generator emits ordinary
+// measure.Records; the analysis pipeline consumes records and device
+// metadata only — it would run unchanged on the real dataset.
+package crowd
+
+import "time"
+
+// Full-scale dataset constants from §4.2.1. A Config.Scale of 1.0
+// reproduces these totals; smaller scales shrink counts and thresholds
+// proportionally.
+const (
+	PaperTotalMeasurements = 5252758
+	PaperTCPMeasurements   = 3576931
+	PaperDNSMeasurements   = 1675827
+	PaperDevices           = 2351
+	PaperApps              = 6266
+	PaperCountries         = 114
+	PaperPhoneModels       = 922
+	PaperDomains           = 35351
+	PaperDstIPs            = 106182
+	PaperDstPorts          = 2427
+	PaperDNSServers        = 943
+	PaperLocations         = 6987
+)
+
+// Launch and cutoff dates of the analysed deployment window.
+var (
+	DeployStart = time.Date(2016, 5, 16, 0, 0, 0, 0, time.UTC)
+	DeployEnd   = time.Date(2017, 1, 3, 0, 0, 0, 0, time.UTC)
+)
+
+// countrySpec is one country's share of the device population (Figure 7
+// gives the top 20; the tail is spread over the remaining countries).
+type countrySpec struct {
+	Name  string
+	Users int     // Figure 7 user counts
+	Lat   float64 // centroid for Figure 8 locations
+	Lon   float64
+	ISPs  []string // cellular ISPs active in the country
+}
+
+// topCountries is Figure 7 verbatim.
+var topCountries = []countrySpec{
+	{"USA", 790, 39.8, -98.6, []string{"Verizon", "AT&T", "Boost Mobile", "Sprint", "MetroPCS", "T-Mobile", "Cricket", "U.S. Cellular"}},
+	{"UK", 116, 54.0, -2.0, []string{"EE", "O2", "Vodafone UK"}},
+	{"India", 70, 21.0, 78.0, []string{"Jio 4G", "Airtel", "Vodafone IN"}},
+	{"Italy", 68, 42.5, 12.5, []string{"TIM", "Vodafone IT"}},
+	{"Malaysia", 43, 4.2, 102.0, []string{"Celcom", "Maxis"}},
+	{"Brazil", 41, -10.0, -52.0, []string{"Vivo", "Claro BR"}},
+	{"Indonesia", 37, -2.5, 118.0, []string{"Telkomsel", "XL Axiata"}},
+	{"Germany", 31, 51.0, 10.0, []string{"Telekom DE", "Vodafone DE"}},
+	{"Canada", 26, 56.0, -106.0, []string{"Rogers", "Bell"}},
+	{"Mexico", 25, 23.6, -102.5, []string{"Telcel", "Movistar MX"}},
+	{"Philippines", 23, 12.9, 121.8, []string{"Globe", "Smart"}},
+	{"Australia", 22, -25.0, 134.0, []string{"Telstra", "Optus"}},
+	{"Hong Kong", 20, 22.3, 114.2, []string{"3 HK", "CMHK", "CSL"}},
+	{"France", 19, 46.6, 2.5, []string{"Orange", "SFR"}},
+	{"Russia", 19, 61.5, 99.0, []string{"MTS", "Beeline"}},
+	{"Thailand", 18, 15.8, 101.0, []string{"AIS", "TrueMove"}},
+	{"Greece", 16, 39.0, 22.0, []string{"Cosmote", "Vodafone GR"}},
+	{"ESP", 13, 40.2, -3.7, []string{"Movistar ES", "Orange ES"}},
+	{"POL", 13, 52.0, 19.4, []string{"Play", "Orange PL"}},
+	{"SGP", 13, 1.35, 103.8, []string{"Singtel", "StarHub"}},
+}
+
+// tailCountryNames fills the population out to 114 countries.
+var tailCountryNames = []string{
+	"Japan", "South Korea", "Taiwan", "Vietnam", "Netherlands", "Belgium",
+	"Sweden", "Norway", "Denmark", "Finland", "Austria", "Switzerland",
+	"Portugal", "Ireland", "Czechia", "Hungary", "Romania", "Bulgaria",
+	"Turkey", "Israel", "UAE", "Saudi Arabia", "Egypt", "Nigeria",
+	"Kenya", "South Africa", "Morocco", "Argentina", "Chile", "Colombia",
+	"Peru", "Venezuela", "Ecuador", "Uruguay", "Bolivia", "Paraguay",
+	"Ukraine", "Belarus", "Serbia", "Croatia", "Slovakia", "Slovenia",
+	"Lithuania", "Latvia", "Estonia", "Iceland", "New Zealand", "Fiji",
+	"Pakistan", "Bangladesh", "Sri Lanka", "Nepal", "Myanmar", "Cambodia",
+	"Laos", "Mongolia", "Kazakhstan", "Uzbekistan", "Georgia", "Armenia",
+	"Azerbaijan", "Jordan", "Lebanon", "Kuwait", "Qatar", "Bahrain",
+	"Oman", "Iraq", "Tunisia", "Algeria", "Ghana", "Senegal",
+	"Ivory Coast", "Cameroon", "Uganda", "Tanzania", "Ethiopia",
+	"Zambia", "Zimbabwe", "Botswana", "Mozambique", "Madagascar",
+	"Panama", "Costa Rica", "Guatemala", "Honduras", "Nicaragua",
+	"El Salvador", "Jamaica", "Trinidad", "Cuba", "Haiti",
+	"Dominican Republic", "Puerto Rico",
+}
+
+// lteISPSpec holds the Table 6 DNS calibration for one LTE operator:
+// measurement share and median DNS RTT, plus the distribution quirks
+// Figure 11 highlights.
+type lteISPSpec struct {
+	Name     string
+	Country  string
+	PaperN   int     // Table 6 "# RTT"
+	MedianMS float64 // Table 6 median DNS RTT
+	// FastShare is the fraction of DNS RTTs under 10 ms (Singtel's
+	// Tri-band 4G+ gives it 14.7%; Verizon has <1%).
+	FastShare float64
+	// FloorMS is the minimum RTT; Cricket and U.S. Cellular bottom out
+	// near 43 ms (pre-4G implementations, Figure 11).
+	FloorMS float64
+	// NonLTEShare is the fraction of this ISP's "LTE" DNS samples that
+	// actually came from 3G fallback (64% for Cricket, 45% for U.S.
+	// Cellular).
+	NonLTEShare float64
+}
+
+// lteISPs is Table 6 verbatim.
+var lteISPs = []lteISPSpec{
+	{Name: "Verizon", Country: "USA", PaperN: 80227, MedianMS: 46, FastShare: 0.008},
+	{Name: "Jio 4G", Country: "India", PaperN: 52397, MedianMS: 59},
+	{Name: "AT&T", Country: "USA", PaperN: 51421, MedianMS: 53},
+	{Name: "Singtel", Country: "SGP", PaperN: 34609, MedianMS: 27, FastShare: 0.147},
+	{Name: "Boost Mobile", Country: "USA", PaperN: 21854, MedianMS: 50},
+	{Name: "Sprint", Country: "USA", PaperN: 20878, MedianMS: 51},
+	{Name: "3 HK", Country: "Hong Kong", PaperN: 14354, MedianMS: 53},
+	{Name: "MetroPCS", Country: "USA", PaperN: 13282, MedianMS: 60},
+	{Name: "T-Mobile", Country: "USA", PaperN: 9084, MedianMS: 45},
+	{Name: "CMHK", Country: "Hong Kong", PaperN: 5820, MedianMS: 50},
+	{Name: "Celcom", Country: "Malaysia", PaperN: 4120, MedianMS: 56},
+	{Name: "CSL", Country: "Hong Kong", PaperN: 3099, MedianMS: 61},
+	{Name: "Cricket", Country: "USA", PaperN: 2822, MedianMS: 93, FloorMS: 43, NonLTEShare: 0.64},
+	{Name: "Maxis", Country: "Malaysia", PaperN: 2419, MedianMS: 40},
+	{Name: "U.S. Cellular", Country: "USA", PaperN: 1988, MedianMS: 76, FloorMS: 43, NonLTEShare: 0.45},
+}
+
+// appSpec is one Table 5 app: package, label, measurement count, median
+// RTT, category, and the domains it talks to.
+type appSpec struct {
+	Package  string
+	Label    string
+	Category string
+	PaperN   int
+	MedianMS float64
+	Domains  []string
+}
+
+// repApps is Table 5 verbatim (counts and medians), with representative
+// server domains.
+var repApps = []appSpec{
+	{"com.facebook.katana", "Facebook", "Social", 215769, 61, []string{"graph.facebook.com", "edge-mqtt.facebook.com", "scontent.xx.fbcdn.net"}},
+	{"com.instagram.android", "Instagram", "Social", 38640, 50.5, []string{"i.instagram.com", "graph.instagram.com"}},
+	{"com.sina.weibo", "Weibo", "Social", 28905, 43, []string{"api.weibo.cn", "upload.api.weibo.com"}},
+	{"com.twitter.android", "Twitter", "Social", 11407, 56, []string{"api.twitter.com", "pbs.twimg.com"}},
+	{"com.tencent.mm", "WeChat", "Social", 61804, 36, []string{"szshort.weixin.qq.com", "long.weixin.qq.com"}},
+	{"com.facebook.orca", "Facebook Messenger", "Communication", 42408, 42, []string{"edge-chat.facebook.com", "graph.facebook.com"}},
+	{"com.whatsapp", "Whatsapp", "Communication", 32372, 133, nil}, // domains generated: *.whatsapp.net
+	{"com.skype.raider", "Skype", "Communication", 16264, 76, []string{"client-s.gateway.messenger.live.com", "api.skype.com"}},
+	{"com.android.vending", "Google Play Store", "Google", 100115, 48, []string{"play.googleapis.com", "android.clients.google.com"}},
+	{"com.google.android.gms", "Google Play services", "Google", 60805, 37, []string{"www.googleapis.com", "mtalk.google.com"}},
+	{"com.google.android.googlequicksearchbox", "Google Search", "Google", 35858, 45, []string{"www.google.com", "suggestqueries.google.com"}},
+	{"com.google.android.apps.maps", "Google Map", "Google", 19996, 38, []string{"maps.googleapis.com", "khms.google.com"}},
+	{"com.google.android.youtube", "YouTube", "Video", 99895, 32, []string{"youtubei.googleapis.com", "r1.googlevideo.com"}},
+	{"com.netflix.mediaclient", "Netflix", "Video", 28302, 33, []string{"api-global.netflix.com", "nflxvideo.net"}},
+	{"com.amazon.mShop.android.shopping", "Amazon", "Shopping", 18313, 59, []string{"www.amazon.com", "fls-na.amazon.com"}},
+	{"com.ebay.mobile", "Ebay", "Shopping", 16114, 70, []string{"api.ebay.com", "i.ebayimg.com"}},
+}
+
+// Whatsapp hosting split (§4.2.2 Case 1): 334 whatsapp.net domains, of
+// which three (mme*, mmg*, pps*) sit on the Facebook CDN with sub-100ms
+// medians, and 331 on SoftLayer with a 261 ms median.
+const (
+	whatsappDomains      = 334
+	whatsappFastDomains  = 3
+	whatsappSlowMedianMS = 261
+	whatsappFastMedianMS = 70
+)
+
+// Jio's LTE core (§4.2.2 Case 2): app-traffic median 281 ms against a
+// 59 ms DNS median — the inflation lives between the eNodeB and the
+// Internet, so it applies to TCP RTTs only.
+const (
+	jioAppMedianMS = 281
+	jioDNSMedianMS = 59
+)
+
+// Network-type calibration (Figures 9 and 10).
+const (
+	wifiShare             = 0.55 // fraction of measurements on WiFi
+	cellularLTEShare      = 0.80 // of cellular, fraction on 4G
+	cellular3GShare       = 0.17
+	wifiAppFactor         = 0.88 // multiplies app base RTT on WiFi
+	lteAppFactor          = 1.12
+	g3AppFactor           = 1.75
+	g2AppFactor           = 5.0
+	wifiDNSMedianMS       = 33
+	g3DNSMedianMS         = 105
+	g2DNSMedianMS         = 755
+	defaultLTEDNSMedianMS = 50
+)
+
+// Phone model pool for the §4.2.1 device-coverage statistic.
+var manufacturers = []string{
+	"Samsung", "HTC", "LG", "Motorola", "Huawei", "XiaoMi", "Sony",
+	"OnePlus", "Google", "ZTE", "Oppo", "Vivo", "Lenovo", "Asus",
+}

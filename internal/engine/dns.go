@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"net/netip"
+
+	"repro/internal/dnsmsg"
+	"repro/internal/measure"
+	"repro/internal/packet"
+	"repro/internal/tcpsm"
+)
+
+// newMachine adapts tcpsm.New for the engine.
+func newMachine(syn *packet.Packet, iss uint32, emit func(*packet.Packet)) (*tcpsm.Machine, error) {
+	return tcpsm.New(syn, iss, emit)
+}
+
+// handleTunnelUDP relays a UDP datagram. DNS (port 53) is measured; all
+// other UDP is relayed without measurement (§2.2: "MopEye currently
+// supports only DNS measurement (though it relays all UDP packets)").
+//
+// The whole DNS transaction — parsing, socket setup, blocking
+// send/receive — runs in a temporary thread so an application-layer
+// protocol never blocks the VpnService main thread, and the
+// post-receive timestamp is taken in blocking mode for accuracy (§2.4).
+func (e *Engine) handleTunnelUDP(pkt *packet.Packet) {
+	appSrc := pkt.Src()
+	dst := pkt.Dst()
+	payload := append([]byte(nil), pkt.Payload...)
+	if dst.Port() == 53 {
+		go e.dnsTransaction(appSrc, dst, payload)
+		return
+	}
+	go e.udpRelay(appSrc, dst, payload)
+}
+
+// dnsTransaction measures one DNS query/response RTT and relays the
+// response back to the app.
+func (e *Engine) dnsTransaction(appSrc, server netip.AddrPort, query []byte) {
+	domain := ""
+	if q, err := dnsmsg.Decode(query); err == nil {
+		domain = q.QueryName()
+	}
+	u := e.prov.OpenUDP()
+	defer u.Close()
+	if e.cfg.Protect == ProtectPerSocket || e.cfg.Protect == ProtectPerSocketMainThread {
+		u.Protect()
+	}
+	t0 := e.clk.Nanos()
+	u.SendTo(server, query)
+	resp, err := u.Recv(e.cfg.DNSTimeout)
+	t1 := e.clk.Nanos()
+	if err != nil {
+		return // the app's own resolver timeout handles retries
+	}
+	e.mu.Lock()
+	e.stats.DNSMeasurements++
+	e.mu.Unlock()
+	e.traffic.dns("system.dns")
+	e.store.Add(measure.Record{
+		Kind:    measure.KindDNS,
+		App:     "system.dns",
+		UID:     0,
+		Dst:     server,
+		Domain:  domain,
+		RTT:     timeDuration(t1 - t0),
+		At:      e.clk.Now(),
+		NetType: e.cfg.NetType,
+		ISP:     e.cfg.ISP,
+		Country: e.cfg.Country,
+	})
+	// Relay the response to the app, source-spoofed as the server the
+	// way the tunnel would present it.
+	e.emit(packet.UDPPacket(server, appSrc, resp))
+}
+
+// udpRelay forwards one non-DNS datagram and relays back at most one
+// response within the UDP timeout.
+func (e *Engine) udpRelay(appSrc, dst netip.AddrPort, payload []byte) {
+	u := e.prov.OpenUDP()
+	defer u.Close()
+	if e.cfg.Protect == ProtectPerSocket || e.cfg.Protect == ProtectPerSocketMainThread {
+		u.Protect()
+	}
+	u.SendTo(dst, payload)
+	resp, err := u.Recv(e.cfg.UDPTimeout)
+	if err != nil {
+		return
+	}
+	e.mu.Lock()
+	e.stats.UDPRelayed++
+	e.mu.Unlock()
+	e.emit(packet.UDPPacket(dst, appSrc, resp))
+}

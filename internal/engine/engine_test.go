@@ -1,0 +1,346 @@
+package engine_test
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/engine"
+	"repro/internal/measure"
+	"repro/internal/netsim"
+	"repro/internal/phonestack"
+	"repro/internal/procnet"
+	"repro/internal/sockets"
+	"repro/internal/tun"
+)
+
+// testbed wires a phone, a TUN device, a simulated network, and an
+// engine together — the full Figure 2 topology.
+type testbed struct {
+	clk    clock.Clock
+	net    *netsim.Network
+	dev    *tun.Device
+	table  *procnet.Table
+	pm     *procnet.PackageManager
+	phone  *phonestack.Phone
+	eng    *engine.Engine
+	server netip.AddrPort
+	dns    netip.AddrPort
+}
+
+var (
+	phoneVPNAddr = netip.MustParseAddr("10.0.0.2")
+	phoneWANAddr = netip.MustParseAddr("100.64.0.5")
+	serverAddr   = netip.MustParseAddrPort("93.184.216.34:80")
+	dnsAddr      = netip.MustParseAddrPort("8.8.8.8:53")
+)
+
+const (
+	uidApp  = 10001
+	appName = "com.example.app"
+	linkRTT = 4 * time.Millisecond // 2ms each way
+)
+
+func newTestbed(t *testing.T, cfg engine.Config) *testbed {
+	t.Helper()
+	clk := clock.NewReal()
+	net := netsim.New(clk, netsim.LinkParams{Delay: linkRTT / 2}, 1)
+	net.HandleTCP(serverAddr, netsim.EchoHandler())
+	zone := netsim.NewZone()
+	zone.Add("example.com", serverAddr.Addr())
+	net.HandleUDP(dnsAddr, 0, netsim.DNSHandler(zone))
+
+	dev := tun.New(clk, 4096)
+	table := procnet.NewTable()
+	pm := procnet.NewPackageManager()
+	pm.Install(uidApp, appName)
+	phone := phonestack.New(clk, dev, phoneVPNAddr, table, 2)
+
+	prov := sockets.NewProvider(net, clk, phoneWANAddr, sockets.ZeroCosts(), 3)
+	reader := procnet.NewReader(table, clk, procnet.ZeroParseCost(), 4)
+	eng := engine.New(cfg, engine.Deps{
+		Clock:    clk,
+		Device:   dev,
+		Sockets:  prov,
+		ProcNet:  reader,
+		Packages: pm,
+		Store:    measure.NewStore(),
+	})
+	eng.Start()
+	tb := &testbed{
+		clk: clk, net: net, dev: dev, table: table, pm: pm,
+		phone: phone, eng: eng, server: serverAddr, dns: dnsAddr,
+	}
+	t.Cleanup(func() {
+		tb.eng.Stop()
+		tb.phone.Close()
+		tb.dev.Close()
+		tb.net.Close()
+	})
+	return tb
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", msg)
+}
+
+func TestRelayEstablishAndEcho(t *testing.T) {
+	tb := newTestbed(t, engine.Default())
+	conn, err := tb.phone.Connect(uidApp, tb.server, 5*time.Second)
+	if err != nil {
+		t.Fatalf("connect through relay: %v", err)
+	}
+	defer conn.Close()
+
+	msg := []byte("hello through the vpn relay")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if err := conn.ReadFull(got); err != nil {
+		t.Fatalf("read echo: %v", err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("echo mismatch: got %q want %q", got, msg)
+	}
+}
+
+func TestRelayProducesPerAppMeasurement(t *testing.T) {
+	tb := newTestbed(t, engine.Default())
+	conn, err := tb.phone.Connect(uidApp, tb.server, 5*time.Second)
+	if err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	defer conn.Close()
+
+	waitFor(t, 3*time.Second, func() bool { return tb.eng.Store().Len() >= 1 }, "measurement record")
+	recs := tb.eng.Store().Kind(measure.KindTCP)
+	if len(recs) != 1 {
+		t.Fatalf("got %d TCP records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.App != appName {
+		t.Errorf("record app = %q, want %q (lazy mapping should attribute correctly)", r.App, appName)
+	}
+	if r.Dst != tb.server {
+		t.Errorf("record dst = %v, want %v", r.Dst, tb.server)
+	}
+	// The measured RTT must track the configured path RTT: the blocking
+	// connect is timestamped immediately around the call. The upper
+	// bound is generous because a loaded test machine inflates real
+	// sleeps; the tight sub-ms accuracy claim is asserted against wire
+	// ground truth (same-run comparison, load-invariant) in the mopeye
+	// package's TestGroundTruthMatchesMeasurement.
+	if r.RTT < linkRTT || r.RTT > linkRTT+25*time.Millisecond {
+		t.Errorf("measured RTT %v not within [%v, %v]", r.RTT, linkRTT, linkRTT+25*time.Millisecond)
+	}
+}
+
+func TestAppObservedConnectTracksPathRTT(t *testing.T) {
+	tb := newTestbed(t, engine.Default())
+	conn, err := tb.phone.Connect(uidApp, tb.server, 5*time.Second)
+	if err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	defer conn.Close()
+	// The app completes its handshake only after the external connect
+	// (§2.3), so its observed latency is path RTT plus relay overhead.
+	if conn.ConnectElapsed < linkRTT {
+		t.Errorf("app connect elapsed %v < path RTT %v", conn.ConnectElapsed, linkRTT)
+	}
+	if conn.ConnectElapsed > linkRTT+50*time.Millisecond {
+		t.Errorf("app connect elapsed %v too large (relay overhead)", conn.ConnectElapsed)
+	}
+}
+
+func TestConnectionRefusedRelaysRST(t *testing.T) {
+	tb := newTestbed(t, engine.Default())
+	noServer := netip.MustParseAddrPort("93.184.216.34:81")
+	_, err := tb.phone.Connect(uidApp, noServer, 5*time.Second)
+	if err == nil {
+		t.Fatal("connect to closed port succeeded, want refusal")
+	}
+	if err != phonestack.ErrRefused {
+		t.Fatalf("got %v, want ErrRefused", err)
+	}
+	st := tb.eng.Stats()
+	if st.ConnectFailures != 1 {
+		t.Errorf("ConnectFailures = %d, want 1", st.ConnectFailures)
+	}
+}
+
+func TestDNSMeasurement(t *testing.T) {
+	tb := newTestbed(t, engine.Default())
+	res, err := tb.phone.Resolve(uidApp, tb.dns, "example.com", 5*time.Second)
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	if res.Addr != tb.server.Addr() {
+		t.Errorf("resolved %v, want %v", res.Addr, tb.server.Addr())
+	}
+	waitFor(t, 3*time.Second, func() bool {
+		return len(tb.eng.Store().Kind(measure.KindDNS)) >= 1
+	}, "DNS record")
+	recs := tb.eng.Store().Kind(measure.KindDNS)
+	r := recs[0]
+	if r.Domain != "example.com" {
+		t.Errorf("DNS record domain = %q, want example.com", r.Domain)
+	}
+	if r.RTT < linkRTT || r.RTT > linkRTT+25*time.Millisecond {
+		t.Errorf("DNS RTT %v not near %v", r.RTT, linkRTT)
+	}
+}
+
+func TestNXDomain(t *testing.T) {
+	tb := newTestbed(t, engine.Default())
+	_, err := tb.phone.Resolve(uidApp, tb.dns, "nosuchname.example", 5*time.Second)
+	if err != phonestack.ErrNXDomain {
+		t.Fatalf("got %v, want ErrNXDomain", err)
+	}
+}
+
+func TestAppRSTClosesExternal(t *testing.T) {
+	tb := newTestbed(t, engine.Default())
+	conn, err := tb.phone.Connect(uidApp, tb.server, 5*time.Second)
+	if err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	conn.Abort()
+	waitFor(t, 3*time.Second, func() bool { return tb.eng.ActiveClients() == 0 }, "client removal after RST")
+}
+
+func TestHalfCloseEchoDrains(t *testing.T) {
+	tb := newTestbed(t, engine.Default())
+	conn, err := tb.phone.Connect(uidApp, tb.server, 5*time.Second)
+	if err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	msg := []byte("final words")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if err := conn.ReadFull(got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	conn.Close()
+	waitFor(t, 3*time.Second, func() bool { return tb.eng.ActiveClients() == 0 }, "teardown after close")
+}
+
+func TestMultipleConcurrentConnections(t *testing.T) {
+	tb := newTestbed(t, engine.Default())
+	const n = 8
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			conn, err := tb.phone.Connect(uidApp, tb.server, 5*time.Second)
+			if err != nil {
+				done <- err
+				return
+			}
+			defer conn.Close()
+			msg := []byte("concurrent")
+			if _, err := conn.Write(msg); err != nil {
+				done <- err
+				return
+			}
+			buf := make([]byte, len(msg))
+			done <- conn.ReadFull(buf)
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("conn %d: %v", i, err)
+		}
+	}
+	waitFor(t, 3*time.Second, func() bool { return tb.eng.Store().Len() >= n }, "n records")
+}
+
+func TestLargeTransferSegmentsAtMSS(t *testing.T) {
+	tb := newTestbed(t, engine.Default())
+	conn, err := tb.phone.Connect(uidApp, tb.server, 5*time.Second)
+	if err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	defer conn.Close()
+	payload := make([]byte, 200*1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	go func() { _, _ = conn.Write(payload) }()
+	got := make([]byte, len(payload))
+	if err := conn.ReadFull(got); err != nil {
+		t.Fatalf("read 200 KiB echo: %v", err)
+	}
+	for i := range got {
+		if got[i] != payload[i] {
+			t.Fatalf("corruption at byte %d: got %#x want %#x", i, got[i], payload[i])
+		}
+	}
+}
+
+func TestEngineStopReleasesBlockedRead(t *testing.T) {
+	tb := newTestbed(t, engine.Default())
+	// No traffic at all: TunReader is parked in a blocking read. Stop
+	// must return promptly thanks to the dummy-packet trick (§3.1).
+	doneCh := make(chan struct{})
+	go func() {
+		tb.eng.Stop()
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not release the blocked tunnel read")
+	}
+}
+
+func TestEventDrivenMeasurementHasDispatchBias(t *testing.T) {
+	// With non-blocking connects measured at the selector (the pre-§2.4
+	// design) and Android-like dispatch costs, the measured RTT is
+	// biased upward relative to the path RTT.
+	clk := clock.NewReal()
+	net := netsim.New(clk, netsim.LinkParams{Delay: linkRTT / 2}, 1)
+	net.HandleTCP(serverAddr, netsim.EchoHandler())
+	dev := tun.New(clk, 4096)
+	table := procnet.NewTable()
+	pm := procnet.NewPackageManager()
+	pm.Install(uidApp, appName)
+	phone := phonestack.New(clk, dev, phoneVPNAddr, table, 2)
+	prov := sockets.NewProvider(net, clk, phoneWANAddr, sockets.AndroidCosts(), 3)
+	reader := procnet.NewReader(table, clk, procnet.ZeroParseCost(), 4)
+
+	cfg := engine.Default()
+	cfg.BlockingConnectMeasure = false
+	eng := engine.New(cfg, engine.Deps{
+		Clock: clk, Device: dev, Sockets: prov, ProcNet: reader, Packages: pm,
+	})
+	eng.Start()
+	defer func() {
+		eng.Stop()
+		phone.Close()
+		dev.Close()
+		net.Close()
+	}()
+
+	conn, err := phone.Connect(uidApp, serverAddr, 10*time.Second)
+	if err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	defer conn.Close()
+	waitFor(t, 5*time.Second, func() bool { return eng.Store().Len() >= 1 }, "record")
+	r := eng.Store().Snapshot()[0]
+	if r.RTT < linkRTT {
+		t.Errorf("event-driven RTT %v below path RTT %v", r.RTT, linkRTT)
+	}
+}

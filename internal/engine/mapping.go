@@ -1,0 +1,246 @@
+package engine
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/procnet"
+)
+
+// This file implements the packet-to-app mapping strategies of §2.2 and
+// §3.3.
+//
+// The kernel offers no API for socket-to-app mapping; the proc files
+// /proc/net/tcp|tcp6 list each connection with the owning app's UID.
+// Parsing them is expensive (Figure 5(a)), so MopEye (a) defers the
+// mapping off the main thread into the socket-connect thread, after the
+// external connect has finished, and (b) elects a single parser among
+// concurrent socket-connect threads; the rest sleep briefly and read the
+// elected thread's result. Unlike a remote-endpoint cache (Haystack),
+// the result is always derived from the kernel's own table, so two apps
+// sharing a server endpoint can never be confused.
+
+// appInfo is a resolved attribution.
+type appInfo struct {
+	UID  int
+	Name string
+}
+
+var unknownApp = appInfo{UID: -1, Name: "unknown"}
+
+// mapper resolves a local port to the owning app.
+type mapper struct {
+	reader *procnet.Reader
+	pm     *procnet.PackageManager
+	mode   MappingMode
+	wait   time.Duration
+	clk    interface {
+		Nanos() int64
+		Sleep(time.Duration)
+	}
+
+	mu      sync.Mutex
+	parsing bool
+	// byPort is the latest parse result, keyed by local port.
+	byPort map[uint16]procnet.Entry
+	// version is the clock time at which the latest parse *started*: a
+	// parse that began after a connection was registered is guaranteed
+	// to include it.
+	version int64
+	// byRemote is the MapCache-mode cache keyed by remote endpoint.
+	byRemote map[netip.AddrPort]appInfo
+
+	parses   int             // parses performed
+	avoided  int             // resolutions that needed no parse of their own
+	misses   int             // resolutions that gave up
+	overhead []time.Duration // per-resolution mapping work (Figure 5)
+}
+
+func newMapper(reader *procnet.Reader, pm *procnet.PackageManager, mode MappingMode, wait time.Duration, clk interface {
+	Nanos() int64
+	Sleep(time.Duration)
+}) *mapper {
+	if wait <= 0 {
+		wait = 50 * time.Millisecond
+	}
+	return &mapper{
+		reader:   reader,
+		pm:       pm,
+		mode:     mode,
+		wait:     wait,
+		clk:      clk,
+		byPort:   make(map[uint16]procnet.Entry),
+		byRemote: make(map[netip.AddrPort]appInfo),
+	}
+}
+
+// resolve maps the connection with the given local endpoint (and remote,
+// for cache mode) to an app. synAt is the engine time the SYN was seen;
+// only parses started at or after it are trusted to contain the entry.
+// The returned duration is the mapping work charged to the caller, the
+// quantity plotted in Figure 5.
+func (m *mapper) resolve(local netip.AddrPort, remote netip.AddrPort, synAt int64) (appInfo, time.Duration) {
+	start := m.clk.Nanos()
+	var info appInfo
+	switch m.mode {
+	case MapOff:
+		info = unknownApp
+	case MapEager:
+		info = m.parseAndFind(local)
+	case MapCache:
+		info = m.resolveCache(local, remote)
+	default:
+		info = m.resolveLazy(local, synAt)
+	}
+	d := time.Duration(m.clk.Nanos() - start)
+	m.mu.Lock()
+	m.overhead = append(m.overhead, d)
+	if info == unknownApp {
+		m.misses++
+	}
+	m.mu.Unlock()
+	return info, d
+}
+
+// parseAndFind performs one full parse and looks the port up.
+func (m *mapper) parseAndFind(local netip.AddrPort) appInfo {
+	began := m.clk.Nanos()
+	entries, err := m.reader.ParseAll()
+	if err != nil {
+		return unknownApp
+	}
+	m.mu.Lock()
+	m.parses++
+	byPort := make(map[uint16]procnet.Entry, len(entries))
+	for _, e := range entries {
+		byPort[e.Local.Port()] = e
+	}
+	m.byPort = byPort
+	m.version = began
+	e, ok := m.byPort[local.Port()]
+	m.mu.Unlock()
+	if !ok {
+		return unknownApp
+	}
+	return m.lookupUID(e.UID)
+}
+
+// resolveLazy implements the §3.3 algorithm.
+func (m *mapper) resolveLazy(local netip.AddrPort, synAt int64) appInfo {
+	port := local.Port()
+	parsedMyself := false
+	deadline := m.clk.Nanos() + int64(time.Second)
+	for {
+		m.mu.Lock()
+		if e, ok := m.byPort[port]; ok && m.version >= synAt {
+			if !parsedMyself {
+				m.avoided++
+			}
+			m.mu.Unlock()
+			return m.lookupUID(e.UID)
+		}
+		fresh := m.version >= synAt
+		if fresh {
+			// A sufficiently recent parse exists but lacks the port:
+			// the connection is already gone from the kernel table.
+			if !parsedMyself {
+				m.avoided++
+			}
+			m.mu.Unlock()
+			return unknownApp
+		}
+		if m.parsing {
+			// Another socket-connect thread is parsing on our behalf;
+			// sleep the paper's 50 ms and re-check (§3.3).
+			m.mu.Unlock()
+			if m.clk.Nanos() > deadline {
+				return unknownApp
+			}
+			m.clk.Sleep(m.wait)
+			continue
+		}
+		m.parsing = true
+		m.mu.Unlock()
+
+		began := m.clk.Nanos()
+		entries, err := m.reader.ParseAll()
+
+		m.mu.Lock()
+		m.parsing = false
+		if err == nil {
+			m.parses++
+			parsedMyself = true
+			byPort := make(map[uint16]procnet.Entry, len(entries))
+			for _, e := range entries {
+				byPort[e.Local.Port()] = e
+			}
+			m.byPort = byPort
+			m.version = began
+		}
+		m.mu.Unlock()
+		if err != nil {
+			return unknownApp
+		}
+	}
+}
+
+// resolveCache implements the Haystack-style remote-endpoint cache. The
+// accuracy hazard is inherent: the first app to reach a remote endpoint
+// claims every later flow to it (§3.3's Facebook-app vs
+// Facebook-in-Chrome example); the shared-library/ad-module case makes
+// this common in practice.
+func (m *mapper) resolveCache(local, remote netip.AddrPort) appInfo {
+	m.mu.Lock()
+	if info, ok := m.byRemote[remote]; ok {
+		m.avoided++
+		m.mu.Unlock()
+		return info
+	}
+	m.mu.Unlock()
+	info := m.parseAndFind(local)
+	m.mu.Lock()
+	m.byRemote[remote] = info
+	m.mu.Unlock()
+	return info
+}
+
+func (m *mapper) lookupUID(uid int) appInfo {
+	name, ok := m.pm.NameForUID(uid)
+	if !ok {
+		return appInfo{UID: uid, Name: "uid:unknown"}
+	}
+	return appInfo{UID: uid, Name: name}
+}
+
+// MappingStats summarises mapper behaviour for §3.3's evaluation: total
+// resolutions, how many performed a parse, how many were avoided, and
+// the per-resolution overhead samples for the Figure 5 CDFs.
+type MappingStats struct {
+	Resolutions int
+	Parses      int
+	Avoided     int
+	Misses      int
+	Overheads   []time.Duration
+}
+
+// MitigationRate is the fraction of resolutions that avoided parsing
+// (67.8% in the paper's web-browsing run).
+func (s MappingStats) MitigationRate() float64 {
+	if s.Resolutions == 0 {
+		return 0
+	}
+	return float64(s.Avoided) / float64(s.Resolutions)
+}
+
+func (m *mapper) stats() MappingStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MappingStats{
+		Resolutions: len(m.overhead),
+		Parses:      m.parses,
+		Avoided:     m.avoided,
+		Misses:      m.misses,
+		Overheads:   append([]time.Duration(nil), m.overhead...),
+	}
+}

@@ -1,0 +1,119 @@
+package measure
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"time"
+)
+
+// This file implements the record serialisation MopEye needs to upload
+// measurements to the crowdsourcing collector and that analyses need to
+// load them back. CSV keeps the dataset greppable and language-neutral,
+// matching how measurement studies typically release data.
+
+// csvHeader is the exported column order.
+var csvHeader = []string{
+	"kind", "app", "uid", "dst", "domain", "rtt_ns", "at_unix_ns",
+	"net_type", "isp", "country", "device",
+}
+
+// WriteCSV streams records as CSV with a header row.
+func WriteCSV(w io.Writer, recs []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	row := make([]string, len(csvHeader))
+	for _, r := range recs {
+		row[0] = r.Kind.String()
+		row[1] = r.App
+		row[2] = strconv.Itoa(r.UID)
+		row[3] = r.Dst.String()
+		row[4] = r.Domain
+		row[5] = strconv.FormatInt(int64(r.RTT), 10)
+		row[6] = strconv.FormatInt(r.At.UnixNano(), 10)
+		row[7] = r.NetType
+		row[8] = r.ISP
+		row[9] = r.Country
+		row[10] = r.Device
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads records written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("measure: reading header: %w", err)
+	}
+	for i, h := range csvHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("measure: header column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	var out []Record
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("measure: line %d: %w", line, err)
+		}
+		rec, err := recordFromRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("measure: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+}
+
+func recordFromRow(row []string) (Record, error) {
+	var r Record
+	switch row[0] {
+	case "TCP":
+		r.Kind = KindTCP
+	case "DNS":
+		r.Kind = KindDNS
+	default:
+		return r, fmt.Errorf("bad kind %q", row[0])
+	}
+	r.App = row[1]
+	uid, err := strconv.Atoi(row[2])
+	if err != nil {
+		return r, fmt.Errorf("bad uid %q: %v", row[2], err)
+	}
+	r.UID = uid
+	if row[3] != "" && row[3] != "invalid AddrPort" {
+		ap, err := netip.ParseAddrPort(row[3])
+		if err != nil {
+			return r, fmt.Errorf("bad dst %q: %v", row[3], err)
+		}
+		r.Dst = ap
+	}
+	r.Domain = row[4]
+	ns, err := strconv.ParseInt(row[5], 10, 64)
+	if err != nil {
+		return r, fmt.Errorf("bad rtt %q: %v", row[5], err)
+	}
+	r.RTT = time.Duration(ns)
+	atNS, err := strconv.ParseInt(row[6], 10, 64)
+	if err != nil {
+		return r, fmt.Errorf("bad timestamp %q: %v", row[6], err)
+	}
+	r.At = time.Unix(0, atNS).UTC()
+	r.NetType = row[7]
+	r.ISP = row[8]
+	r.Country = row[9]
+	r.Device = row[10]
+	return r, nil
+}

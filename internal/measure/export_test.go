@@ -1,0 +1,105 @@
+package measure
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{
+			Kind: KindTCP, App: "com.whatsapp", UID: 10083,
+			Dst:     netip.MustParseAddrPort("158.85.5.211:443"),
+			Domain:  "e7.whatsapp.net",
+			RTT:     261*time.Millisecond + 347*time.Microsecond,
+			At:      time.Date(2016, 9, 1, 10, 30, 0, 0, time.UTC),
+			NetType: "LTE", ISP: "Jio 4G", Country: "India", Device: "device-0042",
+		},
+		{
+			Kind: KindDNS, App: "system.dns", UID: 0,
+			Dst:     netip.MustParseAddrPort("8.8.8.8:53"),
+			Domain:  "graph.facebook.com",
+			RTT:     42 * time.Millisecond,
+			At:      time.Date(2016, 12, 25, 0, 0, 0, 0, time.UTC),
+			NetType: "WiFi", ISP: "WiFi USA", Country: "USA", Device: "device-0001",
+		},
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("rows: %d", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("row %d:\n got %+v\nwant %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("rows: %d", len(got))
+	}
+}
+
+func TestCSVRejectsBadHeader(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b,c\n")); err == nil {
+		t.Error("bad header accepted")
+	}
+}
+
+func TestCSVRejectsBadRows(t *testing.T) {
+	head := strings.Join(csvHeader, ",") + "\n"
+	cases := []string{
+		head + "XXX,app,1,1.2.3.4:443,,1000,0,WiFi,i,c,d\n",   // bad kind
+		head + "TCP,app,zz,1.2.3.4:443,,1000,0,WiFi,i,c,d\n",  // bad uid
+		head + "TCP,app,1,not-an-addr,,1000,0,WiFi,i,c,d\n",   // bad dst
+		head + "TCP,app,1,1.2.3.4:443,,abc,0,WiFi,i,c,d\n",    // bad rtt
+		head + "TCP,app,1,1.2.3.4:443,,1000,xyz,WiFi,i,c,d\n", // bad time
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: malformed row accepted", i)
+		}
+	}
+}
+
+func TestCSVFieldsWithCommas(t *testing.T) {
+	recs := []Record{{
+		Kind: KindTCP, App: "weird,app", Domain: "a,b.example",
+		Dst: netip.MustParseAddrPort("1.1.1.1:1"), RTT: time.Millisecond,
+		At: time.Unix(0, 0).UTC(),
+	}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].App != "weird,app" || got[0].Domain != "a,b.example" {
+		t.Errorf("quoting lost: %+v", got[0])
+	}
+}

@@ -1,0 +1,173 @@
+// Package measure defines the measurement records MopEye produces and a
+// thread-safe store with the aggregation helpers the evaluation uses
+// (per-app medians, RTT distributions, DNS/TCP splits).
+//
+// One Record corresponds to one opportunistic measurement: a TCP
+// connect() SYN/SYN-ACK RTT attributed to an app, or a DNS
+// query/response RTT (§2.4). The crowdsourcing layer (package crowd)
+// generates the same records statistically; everything downstream
+// operates on this type.
+package measure
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Kind distinguishes the two measurement types MopEye supports.
+type Kind int
+
+// Measurement kinds.
+const (
+	KindTCP Kind = iota
+	KindDNS
+)
+
+func (k Kind) String() string {
+	if k == KindDNS {
+		return "DNS"
+	}
+	return "TCP"
+}
+
+// Record is one RTT measurement with its attribution context.
+type Record struct {
+	Kind    Kind
+	App     string // package name; "system.dns" for DNS (system-wide, §2.2)
+	UID     int
+	Dst     netip.AddrPort
+	Domain  string // server domain when known (DNS always; TCP via prior DNS)
+	RTT     time.Duration
+	At      time.Time
+	NetType string // "WiFi", "LTE", "3G", "2G"
+	ISP     string
+	Country string
+	// Device identifies the contributing phone in crowdsourced datasets
+	// (empty for single-phone engine runs).
+	Device string
+}
+
+// ByDevice groups records by device.
+func ByDevice(recs []Record) map[string][]Record {
+	m := make(map[string][]Record)
+	for _, r := range recs {
+		m[r.Device] = append(m[r.Device], r)
+	}
+	return m
+}
+
+// ByNetType groups records by network type.
+func ByNetType(recs []Record) map[string][]Record {
+	m := make(map[string][]Record)
+	for _, r := range recs {
+		m[r.NetType] = append(m[r.NetType], r)
+	}
+	return m
+}
+
+// Store collects records.
+type Store struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Add appends one record.
+func (s *Store) Add(r Record) {
+	s.mu.Lock()
+	s.recs = append(s.recs, r)
+	s.mu.Unlock()
+}
+
+// Len returns the number of records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Snapshot copies all records out.
+func (s *Store) Snapshot() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Record(nil), s.recs...)
+}
+
+// Filter returns the records satisfying keep.
+func (s *Store) Filter(keep func(Record) bool) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Record
+	for _, r := range s.recs {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Kind returns records of one kind.
+func (s *Store) Kind(k Kind) []Record {
+	return s.Filter(func(r Record) bool { return r.Kind == k })
+}
+
+// RTTMillis extracts RTTs in milliseconds from a record set.
+func RTTMillis(recs []Record) []float64 {
+	out := make([]float64, len(recs))
+	for i, r := range recs {
+		out[i] = r.RTT.Seconds() * 1000
+	}
+	return out
+}
+
+// ByApp groups records by app name.
+func ByApp(recs []Record) map[string][]Record {
+	m := make(map[string][]Record)
+	for _, r := range recs {
+		m[r.App] = append(m[r.App], r)
+	}
+	return m
+}
+
+// ByDomain groups records by domain, skipping records without one.
+func ByDomain(recs []Record) map[string][]Record {
+	m := make(map[string][]Record)
+	for _, r := range recs {
+		if r.Domain != "" {
+			m[r.Domain] = append(m[r.Domain], r)
+		}
+	}
+	return m
+}
+
+// ByISP groups records by ISP.
+func ByISP(recs []Record) map[string][]Record {
+	m := make(map[string][]Record)
+	for _, r := range recs {
+		m[r.ISP] = append(m[r.ISP], r)
+	}
+	return m
+}
+
+// MedianRTT returns the median RTT in milliseconds of a record set.
+func MedianRTT(recs []Record) float64 {
+	return stats.Median(RTTMillis(recs))
+}
+
+// AppMedians returns each app's median RTT (ms) for apps with at least
+// minN records — the basis of Figure 9(b) and Table 5, which use medians
+// "because the median is less affected by RTT outliers".
+func AppMedians(recs []Record, minN int) map[string]float64 {
+	out := make(map[string]float64)
+	for app, rs := range ByApp(recs) {
+		if len(rs) >= minN {
+			out[app] = MedianRTT(rs)
+		}
+	}
+	return out
+}

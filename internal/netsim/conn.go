@@ -1,0 +1,454 @@
+package netsim
+
+import (
+	"errors"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// DefaultRecvBuffer is the per-connection receive buffer, matching the
+// 64 KiB socket buffers MopEye configures (§3.4). When the buffer is
+// full the sender backpressures, which is what bounds throughput to
+// window/RTT the way kernel TCP flow control does.
+const DefaultRecvBuffer = 65535
+
+// sendQueueDepth bounds the number of in-flight chunks per direction
+// (the send buffer analogue). Writers block when it is full.
+const sendQueueDepth = 64
+
+// chunk is one scheduled byte delivery, or a control signal.
+type chunk struct {
+	data    []byte
+	eof     bool
+	rst     bool
+	arrival int64 // target arrival, clock nanos
+}
+
+// mailbox is an endpoint receive buffer with blocking and non-blocking
+// reads and an optional readability callback for selector integration.
+type mailbox struct {
+	mu         sync.Mutex
+	cond       *sync.Cond
+	space      *sync.Cond
+	chunks     [][]byte
+	bytes      int
+	capBytes   int
+	eof        bool
+	rst        bool
+	closed     bool
+	onReadable func()
+}
+
+func newMailbox(capBytes int) *mailbox {
+	m := &mailbox{capBytes: capBytes}
+	m.cond = sync.NewCond(&m.mu)
+	m.space = sync.NewCond(&m.mu)
+	return m
+}
+
+// deliver appends data, blocking while the buffer is full (flow
+// control). Control deliveries (eof/rst) never block, so abort paths
+// cannot deadlock behind a full buffer.
+func (m *mailbox) deliver(c chunk) {
+	m.mu.Lock()
+	if c.rst {
+		m.rst = true
+		m.cond.Broadcast()
+		m.space.Broadcast()
+		cb := m.onReadable
+		m.mu.Unlock()
+		if cb != nil {
+			cb()
+		}
+		return
+	}
+	if c.eof {
+		m.eof = true
+		m.cond.Broadcast()
+		cb := m.onReadable
+		m.mu.Unlock()
+		if cb != nil {
+			cb()
+		}
+		return
+	}
+	for m.bytes+len(c.data) > m.capBytes && !m.closed && !m.rst {
+		m.space.Wait()
+	}
+	if m.closed || m.rst {
+		m.mu.Unlock()
+		return
+	}
+	wasEmpty := m.bytes == 0
+	m.chunks = append(m.chunks, c.data)
+	m.bytes += len(c.data)
+	m.cond.Signal()
+	cb := m.onReadable
+	m.mu.Unlock()
+	if wasEmpty && cb != nil {
+		cb()
+	}
+}
+
+// read copies up to len(buf) bytes out. block selects blocking
+// behaviour; non-blocking empty reads return ErrWouldBlock.
+func (m *mailbox) read(buf []byte, block bool) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.bytes == 0 {
+		if m.rst {
+			return 0, ErrReset
+		}
+		if m.eof {
+			return 0, errEOF
+		}
+		if m.closed {
+			return 0, ErrClosed
+		}
+		if !block {
+			return 0, ErrWouldBlock
+		}
+		m.cond.Wait()
+	}
+	n := 0
+	for n < len(buf) && len(m.chunks) > 0 {
+		c := m.chunks[0]
+		k := copy(buf[n:], c)
+		n += k
+		if k == len(c) {
+			m.chunks = m.chunks[1:]
+		} else {
+			m.chunks[0] = c[k:]
+		}
+		m.bytes -= k
+	}
+	m.space.Broadcast()
+	return n, nil
+}
+
+func (m *mailbox) readable() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytes > 0 || m.eof || m.rst || m.closed
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.space.Broadcast()
+	m.mu.Unlock()
+}
+
+func (m *mailbox) setOnReadable(cb func()) {
+	m.mu.Lock()
+	m.onReadable = cb
+	readable := m.bytes > 0 || m.eof || m.rst
+	m.mu.Unlock()
+	if readable && cb != nil {
+		cb()
+	}
+}
+
+// errEOF distinguishes orderly stream end internally; exported as
+// ErrEOFConn via Conn.Read.
+var errEOF = errors.New("netsim: EOF")
+
+// scheduler delivers chunks to a destination mailbox after the link's
+// serialisation and propagation delays, in FIFO order. Control signals
+// (EOF after drain, immediate RST) travel out of band so teardown never
+// blocks behind flow control.
+type scheduler struct {
+	net    *Network
+	delay  time.Duration
+	jitter time.Duration
+	bw     Bandwidth
+	dst    *mailbox
+
+	mu            sync.Mutex
+	nextFree      int64 // when the link can begin serialising the next chunk
+	lastArr       int64 // monotonic arrival enforcement
+	closed        bool
+	eofAfterDrain bool
+
+	q    chan chunk
+	ctrl chan struct{} // wakes the run loop to re-check control flags
+}
+
+func newScheduler(n *Network, delay, jitter time.Duration, bw Bandwidth, dst *mailbox) *scheduler {
+	s := &scheduler{
+		net:    n,
+		delay:  delay,
+		jitter: jitter,
+		bw:     bw,
+		dst:    dst,
+		q:      make(chan chunk, sendQueueDepth),
+		ctrl:   make(chan struct{}, 1),
+	}
+	go s.run()
+	return s
+}
+
+// send enqueues a data delivery; blocks when the send queue is full
+// (send-buffer backpressure), unblocking if the network shuts down.
+func (s *scheduler) send(c chunk) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	now := s.net.clk.Nanos()
+	start := now
+	if s.nextFree > start {
+		start = s.nextFree
+	}
+	var tx int64
+	if s.bw > 0 && len(c.data) > 0 {
+		tx = int64(time.Duration(len(c.data)) * time.Second / time.Duration(s.bw))
+	}
+	s.nextFree = start + tx
+	arr := s.nextFree + int64(s.delay) + int64(s.net.jitter(s.jitter))
+	if arr < s.lastArr {
+		arr = s.lastArr
+	}
+	s.lastArr = arr
+	c.arrival = arr
+	s.mu.Unlock()
+	select {
+	case s.q <- c:
+		return nil
+	case <-s.net.done:
+		return ErrNetDown
+	}
+}
+
+// closeWithEOF asks the run loop to deliver an EOF after draining queued
+// data, then exit. Never blocks.
+func (s *scheduler) closeWithEOF() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.eofAfterDrain = true
+	s.mu.Unlock()
+	s.wake()
+}
+
+// abort delivers a RST immediately (out of band) and stops the run
+// loop. Never blocks: RST delivery is a flag flip on the mailbox, which
+// also releases any deliver blocked on flow control.
+func (s *scheduler) abort() {
+	s.mu.Lock()
+	if s.closed && !s.eofAfterDrain {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.eofAfterDrain = false
+	s.mu.Unlock()
+	s.dst.deliver(chunk{rst: true})
+	s.wake()
+}
+
+// stop ends the run loop without signalling the peer (used when the
+// peer initiated the close).
+func (s *scheduler) stop() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wake()
+}
+
+func (s *scheduler) wake() {
+	select {
+	case s.ctrl <- struct{}{}:
+	default:
+	}
+}
+
+func (s *scheduler) run() {
+	for {
+		select {
+		case c := <-s.q:
+			s.deliverAt(c)
+		case <-s.ctrl:
+			// Drain whatever was enqueued before the control signal,
+			// preserving order, then act on the flags.
+			for {
+				select {
+				case c := <-s.q:
+					s.deliverAt(c)
+					continue
+				default:
+				}
+				break
+			}
+			s.mu.Lock()
+			eof := s.eofAfterDrain
+			closed := s.closed
+			s.mu.Unlock()
+			if eof {
+				s.dst.deliver(chunk{eof: true})
+			}
+			if closed {
+				return
+			}
+		case <-s.net.done:
+			return
+		}
+	}
+}
+
+func (s *scheduler) deliverAt(c chunk) {
+	d := time.Duration(c.arrival - s.net.clk.Nanos())
+	if d > 0 {
+		s.net.clk.Sleep(d)
+	}
+	s.dst.deliver(c)
+}
+
+// Conn is one endpoint of an established simulated TCP connection.
+// Methods mirror what a socket offers: blocking and non-blocking reads,
+// writes with flow control, half-close, and reset.
+type Conn struct {
+	net        *Network
+	peer       *Conn
+	local      netip.AddrPort
+	remote     netip.AddrPort
+	link       LinkParams
+	clientSide bool
+
+	rx *mailbox
+	tx *scheduler
+
+	mu          sync.Mutex
+	writeClosed bool
+	closed      bool
+}
+
+// LocalAddr returns this endpoint's address.
+func (c *Conn) LocalAddr() netip.AddrPort { return c.local }
+
+// RemoteAddr returns the peer's address.
+func (c *Conn) RemoteAddr() netip.AddrPort { return c.remote }
+
+// Link returns the path parameters of the connection.
+func (c *Conn) Link() LinkParams { return c.link }
+
+// Write sends len(b) bytes toward the peer, blocking on flow control.
+func (c *Conn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	if c.closed || c.writeClosed {
+		c.mu.Unlock()
+		return 0, ErrClosed
+	}
+	c.mu.Unlock()
+	if len(b) == 0 {
+		return 0, nil
+	}
+	if c.clientSide {
+		c.net.emit(WireEvent{At: c.net.clk.Nanos(), Kind: EventDataOut, Local: c.local, Remote: c.remote, Bytes: len(b)})
+	}
+	// Segment at a fraction of the receive buffer so no single chunk
+	// can exceed the peer's window — a write larger than the buffer
+	// must trickle through flow control, not wedge behind it.
+	const maxChunk = DefaultRecvBuffer / 4
+	for off := 0; off < len(b); off += maxChunk {
+		end := off + maxChunk
+		if end > len(b) {
+			end = len(b)
+		}
+		cp := append([]byte(nil), b[off:end]...)
+		if err := c.tx.send(chunk{data: cp}); err != nil {
+			return off, err
+		}
+	}
+	if !c.clientSide {
+		c.net.emit(WireEvent{At: c.net.clk.Nanos(), Kind: EventDataIn, Local: c.remote, Remote: c.local, Bytes: len(b)})
+	}
+	return len(b), nil
+}
+
+// Read blocks until data, EOF, or reset. At stream end it returns
+// (0, ErrEOFConn).
+func (c *Conn) Read(buf []byte) (int, error) {
+	n, err := c.rx.read(buf, true)
+	if errors.Is(err, errEOF) {
+		return n, ErrEOFConn
+	}
+	return n, err
+}
+
+// TryRead is the non-blocking read used by the selector-driven relay.
+func (c *Conn) TryRead(buf []byte) (int, error) {
+	n, err := c.rx.read(buf, false)
+	if errors.Is(err, errEOF) {
+		return n, ErrEOFConn
+	}
+	return n, err
+}
+
+// Readable reports whether a TryRead would make progress (data, EOF or
+// reset pending).
+func (c *Conn) Readable() bool { return c.rx.readable() }
+
+// SetOnReadable installs a callback fired when the connection becomes
+// readable. The selector uses this for event notification.
+func (c *Conn) SetOnReadable(cb func()) { c.rx.setOnReadable(cb) }
+
+// CloseWrite half-closes: the peer sees EOF once in-flight data drains.
+// Never blocks.
+func (c *Conn) CloseWrite() error {
+	c.mu.Lock()
+	if c.writeClosed || c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.writeClosed = true
+	c.mu.Unlock()
+	if c.clientSide {
+		c.net.emit(WireEvent{At: c.net.clk.Nanos(), Kind: EventFINOut, Local: c.local, Remote: c.remote, Bytes: 40})
+	}
+	c.tx.closeWithEOF()
+	return nil
+}
+
+// Close fully closes the endpoint: the peer sees EOF after in-flight
+// data, and local reads fail with ErrClosed. Never blocks.
+func (c *Conn) Close() error {
+	c.CloseWrite()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.rx.close()
+	return nil
+}
+
+// Reset aborts the connection: the peer observes ErrReset immediately,
+// jumping any queued data. Never blocks.
+func (c *Conn) Reset() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.writeClosed = true
+	c.mu.Unlock()
+	if c.clientSide {
+		c.net.emit(WireEvent{At: c.net.clk.Nanos(), Kind: EventRST, Local: c.local, Remote: c.remote, Bytes: 40})
+	}
+	c.tx.abort()
+	c.rx.close()
+	return nil
+}
+
+// ErrEOFConn reports orderly stream end from Read/TryRead.
+var ErrEOFConn = errors.New("netsim: connection EOF")

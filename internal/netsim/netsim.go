@@ -1,0 +1,339 @@
+// Package netsim simulates the external network MopEye's relayed
+// connections traverse: the path from the phone's network interface to
+// remote app servers and DNS resolvers.
+//
+// The paper measures RTT as the SYN/SYN-ACK time of the external
+// connection (§2.4), so the simulator's central contract is that
+// connection establishment takes one round trip over a link with
+// configurable propagation delay, jitter and loss, and that established
+// connections carry bytes with bandwidth and flow-control limits
+// (receive buffers backpressure the sender the way kernel TCP windows
+// do). That is exactly the behaviour the throughput experiment (Table 3)
+// and the accuracy experiment (Table 2) depend on.
+//
+// A wire sniffer hook observes packets at the phone's network interface,
+// playing the role tcpdump plays in the paper as ground truth.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Errors.
+var (
+	ErrRefused    = errors.New("netsim: connection refused")
+	ErrTimeout    = errors.New("netsim: connection timed out")
+	ErrClosed     = errors.New("netsim: connection closed")
+	ErrReset      = errors.New("netsim: connection reset by peer")
+	ErrWouldBlock = errors.New("netsim: operation would block")
+	ErrNetDown    = errors.New("netsim: network closed")
+)
+
+// Bandwidth in bytes per second. Zero means unlimited.
+type Bandwidth int64
+
+// Mbps converts megabits per second to Bandwidth.
+func Mbps(m float64) Bandwidth { return Bandwidth(m * 1e6 / 8) }
+
+// LinkParams describes the path between the phone and one destination.
+type LinkParams struct {
+	// Delay is the one-way propagation delay; an RTT is 2*Delay plus
+	// jitter.
+	Delay time.Duration
+	// Jitter adds a uniform random [0, Jitter) to each one-way traversal.
+	Jitter time.Duration
+	// Loss is the probability in [0,1) that a connection-attempt SYN or a
+	// UDP datagram is dropped. Established TCP byte streams are reliable
+	// (the kernel retransmits below the socket API, which is the level
+	// this simulator models).
+	Loss float64
+	// Down/Up limit the server->phone and phone->server directions.
+	Down, Up Bandwidth
+}
+
+// RTT returns the expected round-trip time without jitter.
+func (l LinkParams) RTT() time.Duration { return 2 * l.Delay }
+
+// WireEventKind classifies sniffer events.
+type WireEventKind int
+
+// Wire event kinds, named after what tcpdump would show.
+const (
+	EventSYN WireEventKind = iota
+	EventSYNACK
+	EventRST
+	EventDataOut
+	EventDataIn
+	EventFINOut
+	EventFINIn
+	EventUDPOut
+	EventUDPIn
+)
+
+func (k WireEventKind) String() string {
+	switch k {
+	case EventSYN:
+		return "SYN"
+	case EventSYNACK:
+		return "SYN-ACK"
+	case EventRST:
+		return "RST"
+	case EventDataOut:
+		return "DATA>"
+	case EventDataIn:
+		return "DATA<"
+	case EventFINOut:
+		return "FIN>"
+	case EventFINIn:
+		return "FIN<"
+	case EventUDPOut:
+		return "UDP>"
+	case EventUDPIn:
+		return "UDP<"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// WireEvent is one packet observation at the phone's network interface.
+type WireEvent struct {
+	At     int64 // clock nanos
+	Kind   WireEventKind
+	Local  netip.AddrPort
+	Remote netip.AddrPort
+	Bytes  int
+}
+
+// Sniffer receives wire events. Must be fast; called inline.
+type Sniffer func(WireEvent)
+
+// TCPHandler runs on the server side of an accepted connection, in its
+// own goroutine. It must Close the connection when done.
+type TCPHandler func(c *Conn)
+
+// UDPHandler answers one datagram; returning nil sends no response.
+// Processing time on the server is modelled by ServerThink on the
+// registration.
+type UDPHandler func(req []byte, from netip.AddrPort) []byte
+
+// Network is the simulated Internet.
+type Network struct {
+	clk clock.Clock
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	defLink  LinkParams
+	links    map[netip.Addr]LinkParams
+	tcp      map[netip.AddrPort]TCPHandler
+	udp      map[netip.AddrPort]udpService
+	sniffers []Sniffer
+	closed   bool
+	// done is closed by Close; schedulers and blocked senders select on
+	// it so network teardown releases everything.
+	done chan struct{}
+	// boxes registers every live mailbox so Close can unblock readers
+	// and flow-control waiters.
+	boxes []*mailbox
+	// synRTO is the retransmission timeout applied when a SYN is lost.
+	synRTO time.Duration
+	// maxSYN is how many SYNs are sent before giving up with ErrTimeout.
+	maxSYN int
+}
+
+type udpService struct {
+	handler UDPHandler
+	think   time.Duration
+}
+
+// New creates a network. The default link has the given parameters;
+// destinations may override via SetLink. The seed makes jitter and loss
+// reproducible.
+func New(clk clock.Clock, def LinkParams, seed int64) *Network {
+	return &Network{
+		clk:     clk,
+		rng:     rand.New(rand.NewSource(seed)),
+		defLink: def,
+		links:   make(map[netip.Addr]LinkParams),
+		tcp:     make(map[netip.AddrPort]TCPHandler),
+		udp:     make(map[netip.AddrPort]udpService),
+		synRTO:  time.Second,
+		maxSYN:  3,
+		done:    make(chan struct{}),
+	}
+}
+
+// SetLink overrides the path parameters for one destination address.
+func (n *Network) SetLink(dst netip.Addr, p LinkParams) {
+	n.mu.Lock()
+	n.links[dst] = p
+	n.mu.Unlock()
+}
+
+// Link returns the path parameters used for a destination.
+func (n *Network) Link(dst netip.Addr) LinkParams {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p, ok := n.links[dst]; ok {
+		return p
+	}
+	return n.defLink
+}
+
+// SetSYNRetry configures SYN loss recovery.
+func (n *Network) SetSYNRetry(rto time.Duration, attempts int) {
+	n.mu.Lock()
+	n.synRTO = rto
+	n.maxSYN = attempts
+	n.mu.Unlock()
+}
+
+// HandleTCP registers a TCP server at addr.
+func (n *Network) HandleTCP(addr netip.AddrPort, h TCPHandler) {
+	n.mu.Lock()
+	n.tcp[addr] = h
+	n.mu.Unlock()
+}
+
+// HandleUDP registers a UDP request/response service at addr. think is
+// the simulated server processing time per request.
+func (n *Network) HandleUDP(addr netip.AddrPort, think time.Duration, h UDPHandler) {
+	n.mu.Lock()
+	n.udp[addr] = udpService{handler: h, think: think}
+	n.mu.Unlock()
+}
+
+// AddSniffer attaches a wire observer (the tcpdump vantage point).
+func (n *Network) AddSniffer(s Sniffer) {
+	n.mu.Lock()
+	n.sniffers = append(n.sniffers, s)
+	n.mu.Unlock()
+}
+
+func (n *Network) emit(ev WireEvent) {
+	n.mu.Lock()
+	ss := n.sniffers
+	n.mu.Unlock()
+	for _, s := range ss {
+		s(ev)
+	}
+}
+
+// Close shuts the network down: new dials fail, blocked senders and
+// readers are released, and delivery goroutines exit.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	boxes := n.boxes
+	n.boxes = nil
+	close(n.done)
+	n.mu.Unlock()
+	for _, b := range boxes {
+		b.close()
+	}
+}
+
+func (n *Network) isClosed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closed
+}
+
+// jitter draws a uniform [0, j) duration under the network lock.
+func (n *Network) jitter(j time.Duration) time.Duration {
+	if j <= 0 {
+		return 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return time.Duration(n.rng.Int63n(int64(j)))
+}
+
+// drop draws a loss event.
+func (n *Network) drop(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Float64() < p
+}
+
+func (n *Network) lookupTCP(dst netip.AddrPort) (TCPHandler, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.tcp[dst]
+	return h, ok
+}
+
+func (n *Network) lookupUDP(dst netip.AddrPort) (udpService, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.udp[dst]
+	return s, ok
+}
+
+// Dial establishes a TCP connection from src to dst, blocking for the
+// SYN/SYN-ACK round trip (plus retransmission timeouts under loss). This
+// is the path a blocking connect() takes; the timing of this call is what
+// MopEye measures.
+func (n *Network) Dial(src, dst netip.AddrPort) (*Conn, error) {
+	if n.isClosed() {
+		return nil, ErrNetDown
+	}
+	link := n.Link(dst.Addr())
+	n.mu.Lock()
+	rto, attempts := n.synRTO, n.maxSYN
+	n.mu.Unlock()
+	for i := 0; i < attempts; i++ {
+		n.emit(WireEvent{At: n.clk.Nanos(), Kind: EventSYN, Local: src, Remote: dst, Bytes: 40})
+		if n.drop(link.Loss) {
+			n.clk.Sleep(rto)
+			continue
+		}
+		rtt := link.RTT() + n.jitter(link.Jitter) + n.jitter(link.Jitter)
+		handler, ok := n.lookupTCP(dst)
+		if !ok {
+			// RST arrives after a full round trip.
+			n.clk.Sleep(rtt)
+			n.emit(WireEvent{At: n.clk.Nanos(), Kind: EventRST, Local: src, Remote: dst, Bytes: 40})
+			return nil, ErrRefused
+		}
+		n.clk.Sleep(rtt)
+		n.emit(WireEvent{At: n.clk.Nanos(), Kind: EventSYNACK, Local: src, Remote: dst, Bytes: 40})
+		client, server := n.newConnPair(src, dst, link)
+		go handler(server)
+		return client, nil
+	}
+	return nil, ErrTimeout
+}
+
+// newConnPair wires two halves together with one scheduler per
+// direction.
+func (n *Network) newConnPair(src, dst netip.AddrPort, link LinkParams) (client, server *Conn) {
+	client = &Conn{net: n, local: src, remote: dst, link: link, clientSide: true}
+	server = &Conn{net: n, local: dst, remote: src, link: link}
+	client.peer, server.peer = server, client
+	client.rx = newMailbox(DefaultRecvBuffer)
+	server.rx = newMailbox(DefaultRecvBuffer)
+	n.mu.Lock()
+	if !n.closed {
+		n.boxes = append(n.boxes, client.rx, server.rx)
+	}
+	n.mu.Unlock()
+	// Up direction: client -> server.
+	client.tx = newScheduler(n, link.Delay, link.Jitter, link.Up, server.rx)
+	// Down direction: server -> client.
+	server.tx = newScheduler(n, link.Delay, link.Jitter, link.Down, client.rx)
+	return client, server
+}

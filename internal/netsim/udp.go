@@ -1,0 +1,51 @@
+package netsim
+
+import (
+	"net/netip"
+)
+
+// SendUDP transmits one datagram from src to dst. If a UDP service is
+// registered at dst and neither direction drops the datagram, deliver is
+// invoked (from a separate goroutine) with the response once it arrives
+// back at the phone. There are no delivery guarantees, matching UDP: on
+// loss or an unregistered destination, deliver is never called.
+//
+// MopEye relays all UDP this way; DNS (port 53) is the case it measures
+// (§2.4). The caller is responsible for retries and timeouts, as a real
+// resolver is.
+func (n *Network) SendUDP(src, dst netip.AddrPort, payload []byte, deliver func([]byte)) {
+	if n.isClosed() {
+		return
+	}
+	n.emit(WireEvent{At: n.clk.Nanos(), Kind: EventUDPOut, Local: src, Remote: dst, Bytes: len(payload)})
+	link := n.Link(dst.Addr())
+	if n.drop(link.Loss) {
+		return
+	}
+	svc, ok := n.lookupUDP(dst)
+	if !ok {
+		return // silently dropped; ICMP unreachable is not modelled
+	}
+	req := append([]byte(nil), payload...)
+	outDelay := link.Delay + n.jitter(link.Jitter)
+	go func() {
+		n.clk.Sleep(outDelay)
+		if svc.think > 0 {
+			n.clk.Sleep(svc.think)
+		}
+		resp := svc.handler(req, src)
+		if resp == nil {
+			return
+		}
+		if n.drop(link.Loss) {
+			return
+		}
+		backDelay := link.Delay + n.jitter(link.Jitter)
+		n.clk.Sleep(backDelay)
+		if n.isClosed() {
+			return
+		}
+		n.emit(WireEvent{At: n.clk.Nanos(), Kind: EventUDPIn, Local: src, Remote: dst, Bytes: len(resp)})
+		deliver(resp)
+	}()
+}

@@ -1,0 +1,543 @@
+// Package packet implements the IP/TCP/UDP wire codecs MopEye needs to
+// parse packets captured from the TUN device and to synthesise the
+// user-space TCP stack's replies (§2.2, §2.3 of the paper).
+//
+// A TUN device is a point-to-point IP link, so everything read from it is
+// a raw IP packet. MopEye parses only what it needs: addresses, ports,
+// TCP flags, sequence/acknowledgement numbers, and the MSS option it
+// writes into SYN-ACKs (§3.4). The codecs here are nevertheless complete
+// enough to round-trip arbitrary headers, which the property tests
+// exercise.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Protocol numbers from the IANA registry; only the ones MopEye relays.
+const (
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+	ProtoICMP = 1
+)
+
+// TCP flag bits.
+const (
+	FlagFIN = 1 << 0
+	FlagSYN = 1 << 1
+	FlagRST = 1 << 2
+	FlagPSH = 1 << 3
+	FlagACK = 1 << 4
+	FlagURG = 1 << 5
+)
+
+// Errors returned by the decoders.
+var (
+	ErrTruncated   = errors.New("packet: truncated")
+	ErrBadVersion  = errors.New("packet: unsupported IP version")
+	ErrBadChecksum = errors.New("packet: bad checksum")
+	ErrBadHeader   = errors.New("packet: malformed header")
+)
+
+// IPv4Header is a decoded IPv4 header. Options are preserved verbatim.
+type IPv4Header struct {
+	TOS      uint8
+	ID       uint16
+	Flags    uint8 // upper 3 bits of the fragment field
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Src      netip.Addr
+	Dst      netip.Addr
+	Options  []byte
+}
+
+// HeaderLen returns the encoded header length in bytes.
+func (h *IPv4Header) HeaderLen() int { return 20 + len(h.Options) }
+
+// IPv6Header is a decoded IPv6 fixed header. Extension headers are not
+// relayed by MopEye and are treated as payload-opaque.
+type IPv6Header struct {
+	TrafficClass uint8
+	FlowLabel    uint32
+	NextHeader   uint8
+	HopLimit     uint8
+	Src          netip.Addr
+	Dst          netip.Addr
+}
+
+// TCPHeader is a decoded TCP header.
+type TCPHeader struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+	Window  uint16
+	Urgent  uint16
+	Options []byte // raw options, already padded to 4-byte multiple
+}
+
+// HeaderLen returns the encoded header length in bytes.
+func (h *TCPHeader) HeaderLen() int { return 20 + len(h.Options) }
+
+// Has reports whether all given flag bits are set.
+func (h *TCPHeader) Has(flags uint8) bool { return h.Flags&flags == flags }
+
+// FlagString renders the flags in tcpdump style, e.g. "S", "S.", "F.".
+func (h *TCPHeader) FlagString() string {
+	s := ""
+	if h.Has(FlagSYN) {
+		s += "S"
+	}
+	if h.Has(FlagFIN) {
+		s += "F"
+	}
+	if h.Has(FlagRST) {
+		s += "R"
+	}
+	if h.Has(FlagPSH) {
+		s += "P"
+	}
+	if h.Has(FlagACK) {
+		s += "."
+	}
+	return s
+}
+
+// UDPHeader is a decoded UDP header.
+type UDPHeader struct {
+	SrcPort uint16
+	DstPort uint16
+}
+
+// Packet is a fully decoded IP packet, the unit MainWorker processes.
+type Packet struct {
+	// Exactly one of IPv4/IPv6 is non-nil.
+	IPv4 *IPv4Header
+	IPv6 *IPv6Header
+	// Exactly one of TCP/UDP is non-nil for relayed packets; both nil
+	// for protocols MopEye does not handle.
+	TCP     *TCPHeader
+	UDP     *UDPHeader
+	Payload []byte
+}
+
+// Src returns the source address and transport port.
+func (p *Packet) Src() netip.AddrPort { return netip.AddrPortFrom(p.srcAddr(), p.srcPort()) }
+
+// Dst returns the destination address and transport port.
+func (p *Packet) Dst() netip.AddrPort { return netip.AddrPortFrom(p.dstAddr(), p.dstPort()) }
+
+func (p *Packet) srcAddr() netip.Addr {
+	if p.IPv4 != nil {
+		return p.IPv4.Src
+	}
+	if p.IPv6 != nil {
+		return p.IPv6.Src
+	}
+	return netip.Addr{}
+}
+
+func (p *Packet) dstAddr() netip.Addr {
+	if p.IPv4 != nil {
+		return p.IPv4.Dst
+	}
+	if p.IPv6 != nil {
+		return p.IPv6.Dst
+	}
+	return netip.Addr{}
+}
+
+func (p *Packet) srcPort() uint16 {
+	if p.TCP != nil {
+		return p.TCP.SrcPort
+	}
+	if p.UDP != nil {
+		return p.UDP.SrcPort
+	}
+	return 0
+}
+
+func (p *Packet) dstPort() uint16 {
+	if p.TCP != nil {
+		return p.TCP.DstPort
+	}
+	if p.UDP != nil {
+		return p.UDP.DstPort
+	}
+	return 0
+}
+
+// IsTCP reports whether the packet carries TCP.
+func (p *Packet) IsTCP() bool { return p.TCP != nil }
+
+// IsUDP reports whether the packet carries UDP.
+func (p *Packet) IsUDP() bool { return p.UDP != nil }
+
+// String renders a compact tcpdump-like one-liner, used by debug logging
+// and the sniffer baseline.
+func (p *Packet) String() string {
+	switch {
+	case p.TCP != nil:
+		return fmt.Sprintf("%s > %s: Flags [%s] seq %d ack %d win %d len %d",
+			p.Src(), p.Dst(), p.TCP.FlagString(), p.TCP.Seq, p.TCP.Ack, p.TCP.Window, len(p.Payload))
+	case p.UDP != nil:
+		return fmt.Sprintf("%s > %s: UDP len %d", p.Src(), p.Dst(), len(p.Payload))
+	default:
+		return fmt.Sprintf("%s > %s: proto? len %d", p.srcAddr(), p.dstAddr(), len(p.Payload))
+	}
+}
+
+// Decode parses a raw IP packet as read from the TUN device.
+// It validates structural invariants (lengths, header sizes) but does not
+// verify checksums; VerifyChecksums does that separately because packets
+// synthesised inside the phone never traverse hardware that could corrupt
+// them, mirroring how real TUN stacks skip validation.
+func Decode(raw []byte) (*Packet, error) {
+	if len(raw) < 1 {
+		return nil, ErrTruncated
+	}
+	switch raw[0] >> 4 {
+	case 4:
+		return decodeIPv4(raw)
+	case 6:
+		return decodeIPv6(raw)
+	default:
+		return nil, ErrBadVersion
+	}
+}
+
+func decodeIPv4(raw []byte) (*Packet, error) {
+	if len(raw) < 20 {
+		return nil, ErrTruncated
+	}
+	ihl := int(raw[0]&0x0f) * 4
+	if ihl < 20 || len(raw) < ihl {
+		return nil, ErrBadHeader
+	}
+	totalLen := int(binary.BigEndian.Uint16(raw[2:4]))
+	if totalLen < ihl || totalLen > len(raw) {
+		return nil, ErrBadHeader
+	}
+	h := &IPv4Header{
+		TOS:      raw[1],
+		ID:       binary.BigEndian.Uint16(raw[4:6]),
+		Flags:    raw[6] >> 5,
+		FragOff:  binary.BigEndian.Uint16(raw[6:8]) & 0x1fff,
+		TTL:      raw[8],
+		Protocol: raw[9],
+	}
+	src, _ := netip.AddrFromSlice(raw[12:16])
+	dst, _ := netip.AddrFromSlice(raw[16:20])
+	h.Src, h.Dst = src, dst
+	if ihl > 20 {
+		h.Options = append([]byte(nil), raw[20:ihl]...)
+	}
+	p := &Packet{IPv4: h}
+	return decodeTransport(p, h.Protocol, raw[ihl:totalLen])
+}
+
+func decodeIPv6(raw []byte) (*Packet, error) {
+	if len(raw) < 40 {
+		return nil, ErrTruncated
+	}
+	payloadLen := int(binary.BigEndian.Uint16(raw[4:6]))
+	if 40+payloadLen > len(raw) {
+		return nil, ErrBadHeader
+	}
+	h := &IPv6Header{
+		TrafficClass: (raw[0]&0x0f)<<4 | raw[1]>>4,
+		FlowLabel:    binary.BigEndian.Uint32(raw[0:4]) & 0x000fffff,
+		NextHeader:   raw[6],
+		HopLimit:     raw[7],
+	}
+	src, _ := netip.AddrFromSlice(raw[8:24])
+	dst, _ := netip.AddrFromSlice(raw[24:40])
+	h.Src, h.Dst = src, dst
+	p := &Packet{IPv6: h}
+	return decodeTransport(p, h.NextHeader, raw[40:40+payloadLen])
+}
+
+func decodeTransport(p *Packet, proto uint8, seg []byte) (*Packet, error) {
+	switch proto {
+	case ProtoTCP:
+		if len(seg) < 20 {
+			return nil, ErrTruncated
+		}
+		dataOff := int(seg[12]>>4) * 4
+		if dataOff < 20 || dataOff > len(seg) {
+			return nil, ErrBadHeader
+		}
+		t := &TCPHeader{
+			SrcPort: binary.BigEndian.Uint16(seg[0:2]),
+			DstPort: binary.BigEndian.Uint16(seg[2:4]),
+			Seq:     binary.BigEndian.Uint32(seg[4:8]),
+			Ack:     binary.BigEndian.Uint32(seg[8:12]),
+			Flags:   seg[13] & 0x3f,
+			Window:  binary.BigEndian.Uint16(seg[14:16]),
+			Urgent:  binary.BigEndian.Uint16(seg[18:20]),
+		}
+		if dataOff > 20 {
+			t.Options = append([]byte(nil), seg[20:dataOff]...)
+		}
+		p.TCP = t
+		p.Payload = append([]byte(nil), seg[dataOff:]...)
+	case ProtoUDP:
+		if len(seg) < 8 {
+			return nil, ErrTruncated
+		}
+		udpLen := int(binary.BigEndian.Uint16(seg[4:6]))
+		if udpLen < 8 || udpLen > len(seg) {
+			return nil, ErrBadHeader
+		}
+		p.UDP = &UDPHeader{
+			SrcPort: binary.BigEndian.Uint16(seg[0:2]),
+			DstPort: binary.BigEndian.Uint16(seg[2:4]),
+		}
+		p.Payload = append([]byte(nil), seg[8:udpLen]...)
+	default:
+		p.Payload = append([]byte(nil), seg...)
+	}
+	return p, nil
+}
+
+// Encode serialises the packet to raw bytes with correct lengths and
+// checksums. The inverse of Decode.
+func (p *Packet) Encode() ([]byte, error) {
+	switch {
+	case p.IPv4 != nil:
+		return p.encodeIPv4()
+	case p.IPv6 != nil:
+		return p.encodeIPv6()
+	default:
+		return nil, ErrBadHeader
+	}
+}
+
+func (p *Packet) transportBytes(src, dst netip.Addr) ([]byte, uint8, error) {
+	switch {
+	case p.TCP != nil:
+		t := p.TCP
+		if len(t.Options)%4 != 0 {
+			return nil, 0, fmt.Errorf("%w: TCP options length %d not a multiple of 4", ErrBadHeader, len(t.Options))
+		}
+		hlen := 20 + len(t.Options)
+		seg := make([]byte, hlen+len(p.Payload))
+		binary.BigEndian.PutUint16(seg[0:2], t.SrcPort)
+		binary.BigEndian.PutUint16(seg[2:4], t.DstPort)
+		binary.BigEndian.PutUint32(seg[4:8], t.Seq)
+		binary.BigEndian.PutUint32(seg[8:12], t.Ack)
+		seg[12] = uint8(hlen/4) << 4
+		seg[13] = t.Flags
+		binary.BigEndian.PutUint16(seg[14:16], t.Window)
+		binary.BigEndian.PutUint16(seg[18:20], t.Urgent)
+		copy(seg[20:], t.Options)
+		copy(seg[hlen:], p.Payload)
+		csum := transportChecksum(ProtoTCP, src, dst, seg)
+		binary.BigEndian.PutUint16(seg[16:18], csum)
+		return seg, ProtoTCP, nil
+	case p.UDP != nil:
+		seg := make([]byte, 8+len(p.Payload))
+		binary.BigEndian.PutUint16(seg[0:2], p.UDP.SrcPort)
+		binary.BigEndian.PutUint16(seg[2:4], p.UDP.DstPort)
+		binary.BigEndian.PutUint16(seg[4:6], uint16(len(seg)))
+		copy(seg[8:], p.Payload)
+		csum := transportChecksum(ProtoUDP, src, dst, seg)
+		if csum == 0 {
+			csum = 0xffff // RFC 768: transmitted zero means "no checksum"
+		}
+		binary.BigEndian.PutUint16(seg[6:8], csum)
+		return seg, ProtoUDP, nil
+	default:
+		return append([]byte(nil), p.Payload...), 0, nil
+	}
+}
+
+func (p *Packet) encodeIPv4() ([]byte, error) {
+	h := p.IPv4
+	if len(h.Options)%4 != 0 {
+		return nil, fmt.Errorf("%w: IPv4 options length %d not a multiple of 4", ErrBadHeader, len(h.Options))
+	}
+	if !h.Src.Is4() || !h.Dst.Is4() {
+		return nil, fmt.Errorf("%w: IPv4 header with non-IPv4 address", ErrBadHeader)
+	}
+	seg, proto, err := p.transportBytes(h.Src, h.Dst)
+	if err != nil {
+		return nil, err
+	}
+	if proto != 0 {
+		h.Protocol = proto
+	}
+	ihl := 20 + len(h.Options)
+	raw := make([]byte, ihl+len(seg))
+	raw[0] = 4<<4 | uint8(ihl/4)
+	raw[1] = h.TOS
+	binary.BigEndian.PutUint16(raw[2:4], uint16(len(raw)))
+	binary.BigEndian.PutUint16(raw[4:6], h.ID)
+	binary.BigEndian.PutUint16(raw[6:8], uint16(h.Flags)<<13|h.FragOff&0x1fff)
+	raw[8] = h.TTL
+	raw[9] = h.Protocol
+	src := h.Src.As4()
+	dst := h.Dst.As4()
+	copy(raw[12:16], src[:])
+	copy(raw[16:20], dst[:])
+	copy(raw[20:ihl], h.Options)
+	binary.BigEndian.PutUint16(raw[10:12], headerChecksum(raw[:ihl]))
+	copy(raw[ihl:], seg)
+	return raw, nil
+}
+
+func (p *Packet) encodeIPv6() ([]byte, error) {
+	h := p.IPv6
+	if !h.Src.Is6() || h.Src.Is4In6() || !h.Dst.Is6() || h.Dst.Is4In6() {
+		return nil, fmt.Errorf("%w: IPv6 header with non-IPv6 address", ErrBadHeader)
+	}
+	seg, proto, err := p.transportBytes(h.Src, h.Dst)
+	if err != nil {
+		return nil, err
+	}
+	if proto != 0 {
+		h.NextHeader = proto
+	}
+	raw := make([]byte, 40+len(seg))
+	binary.BigEndian.PutUint32(raw[0:4], 6<<28|uint32(h.TrafficClass)<<20|h.FlowLabel&0x000fffff)
+	binary.BigEndian.PutUint16(raw[4:6], uint16(len(seg)))
+	raw[6] = h.NextHeader
+	raw[7] = h.HopLimit
+	src := h.Src.As16()
+	dst := h.Dst.As16()
+	copy(raw[8:24], src[:])
+	copy(raw[24:40], dst[:])
+	copy(raw[40:], seg)
+	return raw, nil
+}
+
+// headerChecksum computes the IPv4 header checksum over hdr with the
+// checksum field zeroed by the caller (the field bytes are skipped).
+func headerChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 { // checksum field itself
+			continue
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	if len(hdr)%2 == 1 {
+		sum += uint32(hdr[len(hdr)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// transportChecksum computes the TCP/UDP checksum including the
+// IPv4/IPv6 pseudo-header. The checksum field inside seg must be zero.
+func transportChecksum(proto uint8, src, dst netip.Addr, seg []byte) uint16 {
+	var sum uint32
+	addAddr := func(a netip.Addr) {
+		if a.Is4() {
+			b := a.As4()
+			sum += uint32(binary.BigEndian.Uint16(b[0:2]))
+			sum += uint32(binary.BigEndian.Uint16(b[2:4]))
+		} else {
+			b := a.As16()
+			for i := 0; i < 16; i += 2 {
+				sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+			}
+		}
+	}
+	addAddr(src)
+	addAddr(dst)
+	sum += uint32(proto)
+	sum += uint32(len(seg))
+	for i := 0; i+1 < len(seg); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(seg[i : i+2]))
+	}
+	if len(seg)%2 == 1 {
+		sum += uint32(seg[len(seg)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// VerifyChecksums checks the IPv4 header checksum and the transport
+// checksum of a raw packet. It returns nil when both are valid (or when
+// the packet is IPv6, which has no header checksum).
+func VerifyChecksums(raw []byte) error {
+	if len(raw) < 1 {
+		return ErrTruncated
+	}
+	switch raw[0] >> 4 {
+	case 4:
+		if len(raw) < 20 {
+			return ErrTruncated
+		}
+		ihl := int(raw[0]&0x0f) * 4
+		if ihl < 20 || len(raw) < ihl {
+			return ErrBadHeader
+		}
+		got := binary.BigEndian.Uint16(raw[10:12])
+		if headerChecksum(raw[:ihl]) != got {
+			return fmt.Errorf("%w: IPv4 header", ErrBadChecksum)
+		}
+		totalLen := int(binary.BigEndian.Uint16(raw[2:4]))
+		if totalLen > len(raw) || totalLen < ihl {
+			return ErrBadHeader
+		}
+		src, _ := netip.AddrFromSlice(raw[12:16])
+		dst, _ := netip.AddrFromSlice(raw[16:20])
+		return verifyTransport(raw[9], src, dst, raw[ihl:totalLen])
+	case 6:
+		if len(raw) < 40 {
+			return ErrTruncated
+		}
+		payloadLen := int(binary.BigEndian.Uint16(raw[4:6]))
+		if 40+payloadLen > len(raw) {
+			return ErrBadHeader
+		}
+		src, _ := netip.AddrFromSlice(raw[8:24])
+		dst, _ := netip.AddrFromSlice(raw[24:40])
+		return verifyTransport(raw[6], src, dst, raw[40:40+payloadLen])
+	default:
+		return ErrBadVersion
+	}
+}
+
+func verifyTransport(proto uint8, src, dst netip.Addr, seg []byte) error {
+	var off int
+	switch proto {
+	case ProtoTCP:
+		if len(seg) < 20 {
+			return ErrTruncated
+		}
+		off = 16
+	case ProtoUDP:
+		if len(seg) < 8 {
+			return ErrTruncated
+		}
+		off = 6
+		if binary.BigEndian.Uint16(seg[6:8]) == 0 {
+			return nil // checksum disabled
+		}
+	default:
+		return nil
+	}
+	cp := append([]byte(nil), seg...)
+	got := binary.BigEndian.Uint16(cp[off : off+2])
+	binary.BigEndian.PutUint16(cp[off:off+2], 0)
+	want := transportChecksum(proto, src, dst, cp)
+	if proto == ProtoUDP && want == 0 {
+		want = 0xffff
+	}
+	if want != got {
+		return fmt.Errorf("%w: transport", ErrBadChecksum)
+	}
+	return nil
+}

@@ -1,0 +1,567 @@
+// Package phonestack emulates the phone kernel's client-side TCP/UDP
+// stack: the traffic source on the far side of the TUN device.
+//
+// When an Android app calls connect(), the kernel emits a SYN that the
+// TUN routing delivers to MopEye as a raw IP packet (§2.2). This package
+// plays that kernel role for simulated apps: Connect injects a SYN into
+// the TUN and completes when the user-space stack answers with a
+// SYN-ACK; Write segments data at the negotiated MSS and respects the
+// 64 KiB send window clocked by the relay's ACKs; Read consumes
+// in-order data packets. Every connection is registered in the
+// /proc/net tables (package procnet) under the app's UID, which is the
+// only mapping MopEye has from packets to apps.
+package phonestack
+
+import (
+	"errors"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/packet"
+	"repro/internal/procnet"
+	"repro/internal/tun"
+)
+
+// Errors.
+var (
+	ErrTimeout   = errors.New("phonestack: connection timed out")
+	ErrRefused   = errors.New("phonestack: connection refused")
+	ErrReset     = errors.New("phonestack: connection reset")
+	ErrClosed    = errors.New("phonestack: connection closed")
+	ErrEOF       = errors.New("phonestack: EOF")
+	ErrPhoneDown = errors.New("phonestack: phone stopped")
+)
+
+// DefaultWindow is the send/receive window the phone advertises,
+// matching the 65,535-byte buffers of §3.4.
+const DefaultWindow = 65535
+
+// connState values.
+const (
+	stateSynSent = iota
+	stateEstablished
+	stateFinWait
+	stateClosed
+)
+
+// Phone is the kernel-side endpoint of the TUN link.
+type Phone struct {
+	clk   clock.Clock
+	dev   *tun.Device
+	addr  netip.Addr
+	table *procnet.Table
+
+	// SynRTO is the initial SYN retransmission timeout; it doubles per
+	// attempt like a kernel RTO.
+	SynRTO time.Duration
+	// SynRetries bounds handshake attempts.
+	SynRetries int
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	tcp      map[uint16]*Conn
+	udp      map[uint16]*UDPConn
+	nextPort uint16
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New creates a phone stack bound to addr and starts its demultiplexer,
+// which consumes packets the engine writes back into the TUN.
+func New(clk clock.Clock, dev *tun.Device, addr netip.Addr, table *procnet.Table, seed int64) *Phone {
+	p := &Phone{
+		clk:        clk,
+		dev:        dev,
+		addr:       addr,
+		table:      table,
+		SynRTO:     time.Second,
+		SynRetries: 4,
+		rng:        rand.New(rand.NewSource(seed)),
+		tcp:        make(map[uint16]*Conn),
+		udp:        make(map[uint16]*UDPConn),
+		nextPort:   40000,
+	}
+	p.wg.Add(1)
+	go p.demux()
+	return p
+}
+
+// Addr returns the phone's VPN-assigned address.
+func (p *Phone) Addr() netip.Addr { return p.addr }
+
+// Close stops the demultiplexer. The TUN device must be closed by its
+// owner; Close here only stops consuming from it.
+func (p *Phone) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	conns := make([]*Conn, 0, len(p.tcp))
+	for _, c := range p.tcp {
+		conns = append(conns, c)
+	}
+	us := make([]*UDPConn, 0, len(p.udp))
+	for _, u := range p.udp {
+		us = append(us, u)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.teardown(ErrPhoneDown)
+	}
+	for _, u := range us {
+		u.Close()
+	}
+}
+
+func (p *Phone) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+func (p *Phone) allocPort() uint16 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		port := p.nextPort
+		p.nextPort++
+		if p.nextPort == 0 {
+			p.nextPort = 40000
+		}
+		if _, busyT := p.tcp[port]; busyT {
+			continue
+		}
+		if _, busyU := p.udp[port]; busyU {
+			continue
+		}
+		return port
+	}
+}
+
+// demux dispatches engine-written packets to connections.
+func (p *Phone) demux() {
+	defer p.wg.Done()
+	for {
+		raw, err := p.dev.ReadInbound()
+		if err != nil {
+			return
+		}
+		pkt, err := packet.Decode(raw)
+		if err != nil {
+			continue // a malformed packet from the engine is dropped
+		}
+		// Inbound packets are addressed to the phone; the app's local
+		// port is the packet's destination port.
+		port := pkt.Dst().Port()
+		switch {
+		case pkt.IsTCP():
+			p.mu.Lock()
+			c := p.tcp[port]
+			p.mu.Unlock()
+			if c != nil {
+				c.handleSegment(pkt)
+			}
+		case pkt.IsUDP():
+			p.mu.Lock()
+			u := p.udp[port]
+			p.mu.Unlock()
+			if u != nil {
+				u.deliver(pkt)
+			}
+		}
+	}
+}
+
+func (p *Phone) inject(pkt *packet.Packet) error {
+	raw, err := pkt.Encode()
+	if err != nil {
+		return err
+	}
+	return p.dev.InjectOutbound(raw)
+}
+
+// Conn is an app-side TCP connection.
+type Conn struct {
+	phone  *Phone
+	uid    int
+	local  netip.AddrPort
+	remote netip.AddrPort
+	inode  uint64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	state   int
+	connErr error
+
+	sndNxt uint32 // next sequence to send
+	sndUna uint32 // oldest unacknowledged
+	rcvNxt uint32 // next expected from peer
+	mss    int
+	window int // peer-advertised send window
+
+	rx      [][]byte
+	rxBytes int
+	rxEOF   bool
+	rxErr   error
+
+	// ConnectElapsed is the app-observed connect() latency, i.e. the
+	// RTT the app itself experiences through the relay. The overhead
+	// experiment (§4.1.2) compares this against the raw path RTT.
+	ConnectElapsed time.Duration
+}
+
+// Connect opens a TCP connection from the app with the given UID to dst.
+// It blocks until the user-space stack completes the tunnel-side
+// handshake, retransmitting the SYN on kernel-like timeouts.
+func (p *Phone) Connect(uid int, dst netip.AddrPort, timeout time.Duration) (*Conn, error) {
+	if p.isClosed() {
+		return nil, ErrPhoneDown
+	}
+	port := p.allocPort()
+	c := &Conn{
+		phone:  p,
+		uid:    uid,
+		local:  netip.AddrPortFrom(p.addr, port),
+		remote: dst,
+		state:  stateSynSent,
+		mss:    tun.MTU - 40, // until the SYN-ACK negotiates it
+		window: DefaultWindow,
+	}
+	c.cond = sync.NewCond(&c.mu)
+	p.mu.Lock()
+	c.sndNxt = p.rng.Uint32()
+	c.sndUna = c.sndNxt
+	p.tcp[port] = c
+	p.mu.Unlock()
+
+	c.inode = p.table.Add(procnet.Entry{
+		Proto: procTCPProto(dst.Addr()), Local: c.local, Remote: dst,
+		State: procnet.StateSynSent, UID: uid,
+	})
+
+	start := p.clk.Nanos()
+	syn := packet.TCPPacket(c.local, dst, packet.FlagSYN, c.sndNxt, 0,
+		DefaultWindow, packet.MSSOption(uint16(tun.MTU-40)), nil)
+	c.sndNxt++ // SYN consumes one sequence number
+	if err := p.inject(syn); err != nil {
+		c.unregister()
+		return nil, err
+	}
+
+	// Retransmit the SYN with doubling RTO, then give up, like a kernel.
+	done := make(chan struct{})
+	go func() {
+		rto := p.SynRTO
+		for i := 0; i < p.SynRetries; i++ {
+			select {
+			case <-done:
+				return
+			case <-p.clk.After(rto):
+			}
+			c.mu.Lock()
+			st := c.state
+			c.mu.Unlock()
+			if st != stateSynSent {
+				return
+			}
+			_ = p.inject(packet.TCPPacket(c.local, dst, packet.FlagSYN,
+				c.sndNxt-1, 0, DefaultWindow, packet.MSSOption(uint16(tun.MTU-40)), nil))
+			rto *= 2
+		}
+		c.mu.Lock()
+		if c.state == stateSynSent {
+			c.connErr = ErrTimeout
+			c.state = stateClosed
+			c.cond.Broadcast()
+		}
+		c.mu.Unlock()
+	}()
+
+	var timer <-chan time.Time
+	if timeout > 0 {
+		timer = p.clk.After(timeout)
+		go func() {
+			select {
+			case <-done:
+			case <-timer:
+				c.mu.Lock()
+				if c.state == stateSynSent {
+					c.connErr = ErrTimeout
+					c.state = stateClosed
+					c.cond.Broadcast()
+				}
+				c.mu.Unlock()
+			}
+		}()
+	}
+
+	c.mu.Lock()
+	for c.state == stateSynSent {
+		c.cond.Wait()
+	}
+	err := c.connErr
+	c.mu.Unlock()
+	close(done)
+	if err != nil {
+		c.unregister()
+		return nil, err
+	}
+	c.ConnectElapsed = time.Duration(p.clk.Nanos() - start)
+	return c, nil
+}
+
+func procTCPProto(a netip.Addr) procnet.Proto {
+	if a.Is4() {
+		return procnet.TCP
+	}
+	return procnet.TCP6
+}
+
+func (c *Conn) unregister() {
+	c.phone.mu.Lock()
+	delete(c.phone.tcp, c.local.Port())
+	c.phone.mu.Unlock()
+	c.phone.table.Remove(c.inode)
+}
+
+// LocalAddr returns the connection's local address.
+func (c *Conn) LocalAddr() netip.AddrPort { return c.local }
+
+// RemoteAddr returns the destination the app dialed.
+func (c *Conn) RemoteAddr() netip.AddrPort { return c.remote }
+
+// UID returns the owning app's UID.
+func (c *Conn) UID() int { return c.uid }
+
+// handleSegment processes one engine-written TCP packet.
+func (c *Conn) handleSegment(pkt *packet.Packet) {
+	t := pkt.TCP
+	c.mu.Lock()
+	switch {
+	case t.Has(packet.FlagRST):
+		c.rxErr = ErrReset
+		if c.state == stateSynSent {
+			c.connErr = ErrRefused
+		}
+		c.state = stateClosed
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		c.unregister()
+		return
+
+	case t.Has(packet.FlagSYN | packet.FlagACK):
+		if c.state != stateSynSent {
+			break // duplicate SYN-ACK; the ACK below re-confirms
+		}
+		c.rcvNxt = t.Seq + 1
+		c.sndUna = t.Ack
+		if mss, ok := packet.ParseMSS(t.Options); ok && int(mss) > 0 {
+			c.mss = int(mss)
+		}
+		if int(t.Window) > 0 {
+			c.window = int(t.Window)
+		}
+		c.state = stateEstablished
+		c.phone.table.SetState(c.inode, procnet.StateEstablished)
+		ack := packet.TCPPacket(c.local, c.remote, packet.FlagACK,
+			c.sndNxt, c.rcvNxt, DefaultWindow, nil, nil)
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		_ = c.phone.inject(ack)
+		return
+
+	default:
+		// ACK processing: advance the send window.
+		if t.Has(packet.FlagACK) && seqGT(t.Ack, c.sndUna) {
+			c.sndUna = t.Ack
+			c.cond.Broadcast()
+		}
+		// Data delivery: in-order only; the user-space stack relays
+		// in order over the lossless tunnel (§3.4), so out-of-order
+		// segments are duplicates and are dropped after trimming.
+		if len(pkt.Payload) > 0 {
+			data := pkt.Payload
+			seq := t.Seq
+			if seqLT(seq, c.rcvNxt) {
+				skip := c.rcvNxt - seq
+				if int(skip) >= len(data) {
+					data = nil
+				} else {
+					data = data[skip:]
+					seq = c.rcvNxt
+				}
+			}
+			if len(data) > 0 && seq == c.rcvNxt {
+				c.rx = append(c.rx, append([]byte(nil), data...))
+				c.rxBytes += len(data)
+				c.rcvNxt += uint32(len(data))
+				c.cond.Broadcast()
+				ack := packet.TCPPacket(c.local, c.remote, packet.FlagACK,
+					c.sndNxt, c.rcvNxt, DefaultWindow, nil, nil)
+				c.mu.Unlock()
+				_ = c.phone.inject(ack)
+				return
+			}
+		}
+		if t.Has(packet.FlagFIN) {
+			c.rcvNxt = t.Seq + uint32(len(pkt.Payload)) + 1
+			c.rxEOF = true
+			c.cond.Broadcast()
+			ack := packet.TCPPacket(c.local, c.remote, packet.FlagACK,
+				c.sndNxt, c.rcvNxt, DefaultWindow, nil, nil)
+			c.mu.Unlock()
+			_ = c.phone.inject(ack)
+			return
+		}
+	}
+	c.mu.Unlock()
+}
+
+// seq comparisons in modular 32-bit arithmetic.
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+func seqGT(a, b uint32) bool { return int32(a-b) > 0 }
+
+// Write sends len(b) bytes, segmenting at the negotiated MSS and
+// blocking while the send window is full; ACKs generated by the
+// user-space stack (after its socket writes complete, §2.3) open it.
+func (c *Conn) Write(b []byte) (int, error) {
+	sent := 0
+	for sent < len(b) {
+		c.mu.Lock()
+		for {
+			if c.state == stateClosed {
+				err := c.rxErr
+				c.mu.Unlock()
+				if err == nil {
+					err = ErrClosed
+				}
+				return sent, err
+			}
+			if c.state != stateEstablished {
+				c.mu.Unlock()
+				return sent, ErrClosed
+			}
+			inflight := int(c.sndNxt - c.sndUna)
+			if inflight < c.window {
+				break
+			}
+			c.cond.Wait()
+		}
+		n := len(b) - sent
+		if n > c.mss {
+			n = c.mss
+		}
+		if room := c.window - int(c.sndNxt-c.sndUna); n > room {
+			n = room
+		}
+		seg := packet.TCPPacket(c.local, c.remote,
+			packet.FlagACK|packet.FlagPSH, c.sndNxt, c.rcvNxt,
+			DefaultWindow, nil, append([]byte(nil), b[sent:sent+n]...))
+		c.sndNxt += uint32(n)
+		c.mu.Unlock()
+		if err := c.phone.inject(seg); err != nil {
+			return sent, err
+		}
+		sent += n
+	}
+	return sent, nil
+}
+
+// Read blocks for data, EOF, or an error.
+func (c *Conn) Read(buf []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.rxBytes == 0 {
+		if c.rxErr != nil {
+			return 0, c.rxErr
+		}
+		if c.rxEOF {
+			return 0, ErrEOF
+		}
+		if c.state == stateClosed {
+			return 0, ErrClosed
+		}
+		c.cond.Wait()
+	}
+	n := 0
+	for n < len(buf) && len(c.rx) > 0 {
+		chunk := c.rx[0]
+		k := copy(buf[n:], chunk)
+		n += k
+		if k == len(chunk) {
+			c.rx = c.rx[1:]
+		} else {
+			c.rx[0] = chunk[k:]
+		}
+		c.rxBytes -= k
+	}
+	return n, nil
+}
+
+// ReadFull reads exactly len(buf) bytes or fails.
+func (c *Conn) ReadFull(buf []byte) error {
+	got := 0
+	for got < len(buf) {
+		n, err := c.Read(buf[got:])
+		got += n
+		if err != nil && got < len(buf) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close sends a FIN and tears the connection down. The kernel would
+// linger in TIME_WAIT; the proc entry is removed immediately, which only
+// shortens the table — MopEye tolerates missing entries by retrying
+// (§3.3).
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.state == stateClosed {
+		c.mu.Unlock()
+		return nil
+	}
+	wasEstablished := c.state == stateEstablished
+	fin := packet.TCPPacket(c.local, c.remote,
+		packet.FlagFIN|packet.FlagACK, c.sndNxt, c.rcvNxt, DefaultWindow, nil, nil)
+	c.sndNxt++
+	c.state = stateClosed
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if wasEstablished {
+		_ = c.phone.inject(fin)
+	}
+	c.unregister()
+	return nil
+}
+
+// Abort sends an RST, the path that exercises the engine's RST handling
+// (§2.3).
+func (c *Conn) Abort() {
+	c.mu.Lock()
+	if c.state == stateClosed {
+		c.mu.Unlock()
+		return
+	}
+	rst := packet.TCPPacket(c.local, c.remote, packet.FlagRST,
+		c.sndNxt, c.rcvNxt, 0, nil, nil)
+	c.state = stateClosed
+	c.rxErr = ErrReset
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	_ = c.phone.inject(rst)
+	c.unregister()
+}
+
+func (c *Conn) teardown(err error) {
+	c.mu.Lock()
+	c.state = stateClosed
+	c.rxErr = err
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}

@@ -1,0 +1,372 @@
+// Package procnet emulates the four proc filesystem files
+// (/proc/net/tcp6|tcp|udp|udp6) that MopEye parses to map a captured
+// packet to the app that sent it (§2.2), together with the
+// PackageManager UID→name lookup.
+//
+// The table is maintained by the phone stack (the kernel's role) and
+// rendered in the authentic /proc/net/tcp text format, which the
+// engine-side parser consumes. Parsing these files on Android is
+// expensive — Figure 5(a) shows >75% of parses above 5 ms, >10% above
+// 15 ms — so a calibrated cost model charges simulated time per parse,
+// growing with the number of active connections exactly as §3.3
+// observes.
+package procnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Proto selects one of the four proc files.
+type Proto int
+
+// The four proc files.
+const (
+	TCP Proto = iota
+	TCP6
+	UDP
+	UDP6
+)
+
+func (p Proto) String() string {
+	switch p {
+	case TCP:
+		return "tcp"
+	case TCP6:
+		return "tcp6"
+	case UDP:
+		return "udp"
+	case UDP6:
+		return "udp6"
+	default:
+		return "proto?"
+	}
+}
+
+// Socket states as encoded in /proc/net/tcp.
+const (
+	StateEstablished = 0x01
+	StateSynSent     = 0x02
+	StateFinWait1    = 0x04
+	StateClose       = 0x07
+	StateListen      = 0x0A
+)
+
+// Entry is one row of a proc net table.
+type Entry struct {
+	Proto  Proto
+	Local  netip.AddrPort
+	Remote netip.AddrPort
+	State  int
+	UID    int
+	Inode  uint64
+}
+
+// Table is the kernel-side connection table feeding the proc files.
+type Table struct {
+	mu        sync.Mutex
+	entries   map[uint64]Entry // keyed by inode
+	nextInode uint64
+}
+
+// NewTable creates an empty table.
+func NewTable() *Table {
+	return &Table{entries: make(map[uint64]Entry)}
+}
+
+// Add inserts a connection and returns its inode handle.
+func (t *Table) Add(e Entry) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextInode++
+	e.Inode = t.nextInode
+	t.entries[e.Inode] = e
+	return e.Inode
+}
+
+// SetState updates a connection's state.
+func (t *Table) SetState(inode uint64, state int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.entries[inode]; ok {
+		e.State = state
+		t.entries[inode] = e
+	}
+}
+
+// Remove deletes a connection.
+func (t *Table) Remove(inode uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.entries, inode)
+}
+
+// Len returns the number of live entries across all protos.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// snapshot returns entries of one proto in stable order.
+func (t *Table) snapshot(p Proto) []Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Entry
+	for _, e := range t.entries {
+		if e.Proto == p {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Inode < out[j].Inode })
+	return out
+}
+
+// Render produces the authentic text of one proc file. IPv4 addresses
+// are little-endian hex, ports big-endian hex, exactly as the kernel
+// formats them — the parser on the other side must deal with that.
+func (t *Table) Render(p Proto) string {
+	var b strings.Builder
+	b.WriteString("  sl  local_address rem_address   st tx_queue rx_queue tr tm->when retrnsmt   uid  timeout inode\n")
+	for i, e := range t.snapshot(p) {
+		fmt.Fprintf(&b, "%4d: %s %s %02X 00000000:00000000 00:00000000 00000000 %5d        0 %d 1 0000000000000000 100 0 0 10 0\n",
+			i, hexAddrPort(e.Local, p), hexAddrPort(e.Remote, p), e.State, e.UID, e.Inode)
+	}
+	return b.String()
+}
+
+func hexAddrPort(ap netip.AddrPort, p Proto) string {
+	if p == TCP || p == UDP {
+		a4 := ap.Addr().As4()
+		// Kernel prints IPv4 as a little-endian 32-bit hex value.
+		v := binary.LittleEndian.Uint32(a4[:])
+		return fmt.Sprintf("%08X:%04X", v, ap.Port())
+	}
+	a16 := ap.Addr().As16()
+	var b strings.Builder
+	// IPv6 is printed as four little-endian 32-bit groups.
+	for g := 0; g < 4; g++ {
+		v := binary.LittleEndian.Uint32(a16[g*4 : g*4+4])
+		fmt.Fprintf(&b, "%08X", v)
+	}
+	return fmt.Sprintf("%s:%04X", b.String(), ap.Port())
+}
+
+// ParseFile decodes a rendered proc file back into entries. This is the
+// code path MopEye runs for every SYN before lazy mapping, and only in
+// the elected thread after (§3.3).
+func ParseFile(text string, p Proto) ([]Entry, error) {
+	var out []Entry
+	lines := strings.Split(text, "\n")
+	for _, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 10 {
+			return nil, fmt.Errorf("procnet: short row %q", line)
+		}
+		local, err := parseHexAddrPort(fields[1], p)
+		if err != nil {
+			return nil, err
+		}
+		remote, err := parseHexAddrPort(fields[2], p)
+		if err != nil {
+			return nil, err
+		}
+		st, err := strconv.ParseInt(fields[3], 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("procnet: bad state %q: %v", fields[3], err)
+		}
+		uid, err := strconv.Atoi(fields[7])
+		if err != nil {
+			return nil, fmt.Errorf("procnet: bad uid %q: %v", fields[7], err)
+		}
+		inode, err := strconv.ParseUint(fields[9], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("procnet: bad inode %q: %v", fields[9], err)
+		}
+		out = append(out, Entry{
+			Proto: p, Local: local, Remote: remote,
+			State: int(st), UID: uid, Inode: inode,
+		})
+	}
+	return out, nil
+}
+
+func parseHexAddrPort(s string, p Proto) (netip.AddrPort, error) {
+	colon := strings.LastIndexByte(s, ':')
+	if colon < 0 {
+		return netip.AddrPort{}, fmt.Errorf("procnet: bad addr %q", s)
+	}
+	port, err := strconv.ParseUint(s[colon+1:], 16, 16)
+	if err != nil {
+		return netip.AddrPort{}, fmt.Errorf("procnet: bad port in %q: %v", s, err)
+	}
+	hexIP := s[:colon]
+	if p == TCP || p == UDP {
+		v, err := strconv.ParseUint(hexIP, 16, 32)
+		if err != nil {
+			return netip.AddrPort{}, fmt.Errorf("procnet: bad ip in %q: %v", s, err)
+		}
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(v))
+		return netip.AddrPortFrom(netip.AddrFrom4(b), uint16(port)), nil
+	}
+	if len(hexIP) != 32 {
+		return netip.AddrPort{}, fmt.Errorf("procnet: bad ipv6 in %q", s)
+	}
+	var b [16]byte
+	for g := 0; g < 4; g++ {
+		v, err := strconv.ParseUint(hexIP[g*8:g*8+8], 16, 32)
+		if err != nil {
+			return netip.AddrPort{}, fmt.Errorf("procnet: bad ipv6 group in %q: %v", s, err)
+		}
+		binary.LittleEndian.PutUint32(b[g*4:g*4+4], uint32(v))
+	}
+	return netip.AddrPortFrom(netip.AddrFrom16(b), uint16(port)), nil
+}
+
+// CostModel charges simulated time per proc parse.
+type CostModel struct {
+	// Base is the fixed cost of opening and reading the file.
+	Base time.Duration
+	// PerEntry is the marginal cost per table row.
+	PerEntry time.Duration
+	// SpikeProb and SpikeMax add an occasional scheduling spike.
+	SpikeProb float64
+	SpikeMax  time.Duration
+}
+
+// AndroidParseCost reproduces the Figure 5(a) distribution on a table of
+// a few dozen rows: mostly 5–15 ms with a >15 ms tail.
+func AndroidParseCost() CostModel {
+	return CostModel{
+		Base:      4 * time.Millisecond,
+		PerEntry:  120 * time.Microsecond,
+		SpikeProb: 0.12,
+		SpikeMax:  18 * time.Millisecond,
+	}
+}
+
+// ZeroParseCost is free, for deterministic tests.
+func ZeroParseCost() CostModel { return CostModel{} }
+
+// Reader is the engine-side view: it renders, charges the parse cost,
+// and parses. One Reader per engine.
+type Reader struct {
+	table *Table
+	clk   clock.Clock
+	cost  CostModel
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	parses int
+	spent  time.Duration
+	costs  []time.Duration
+}
+
+// NewReader creates a reader over a table.
+func NewReader(t *Table, clk clock.Clock, cost CostModel, seed int64) *Reader {
+	return &Reader{table: t, clk: clk, cost: cost, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Parse reads one proc file, charging the modelled cost in simulated
+// time.
+func (r *Reader) Parse(p Proto) ([]Entry, error) {
+	text := r.table.Render(p)
+	entries, err := ParseFile(text, p)
+	if err != nil {
+		return nil, err
+	}
+	cost := r.drawCost(len(entries))
+	if cost > 0 {
+		r.clk.Sleep(cost)
+	}
+	r.mu.Lock()
+	r.parses++
+	r.spent += cost
+	r.costs = append(r.costs, cost)
+	r.mu.Unlock()
+	return entries, nil
+}
+
+// ParseAll reads tcp and tcp6 (the SYN mapping path parses both, §3.3).
+func (r *Reader) ParseAll() ([]Entry, error) {
+	t4, err := r.Parse(TCP)
+	if err != nil {
+		return nil, err
+	}
+	t6, err := r.Parse(TCP6)
+	if err != nil {
+		return nil, err
+	}
+	return append(t4, t6...), nil
+}
+
+func (r *Reader) drawCost(entries int) time.Duration {
+	c := r.cost.Base + time.Duration(entries)*r.cost.PerEntry
+	if r.cost.SpikeProb > 0 {
+		r.mu.Lock()
+		spike := r.rng.Float64() < r.cost.SpikeProb
+		var extra time.Duration
+		if spike && r.cost.SpikeMax > 0 {
+			extra = time.Duration(r.rng.Int63n(int64(r.cost.SpikeMax)))
+		}
+		r.mu.Unlock()
+		c += extra
+	}
+	return c
+}
+
+// Stats reports parses performed, total simulated time charged, and the
+// per-parse cost samples (for the Figure 5 CDFs).
+func (r *Reader) Stats() (parses int, spent time.Duration, samples []time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.parses, r.spent, append([]time.Duration(nil), r.costs...)
+}
+
+// PackageManager maps UIDs to app package names, the role Android's
+// PackageManager plays for MopEye (§2.2).
+type PackageManager struct {
+	mu   sync.Mutex
+	apps map[int]string
+}
+
+// NewPackageManager creates an empty registry.
+func NewPackageManager() *PackageManager {
+	return &PackageManager{apps: make(map[int]string)}
+}
+
+// Install registers an app name under a UID.
+func (pm *PackageManager) Install(uid int, name string) {
+	pm.mu.Lock()
+	pm.apps[uid] = name
+	pm.mu.Unlock()
+}
+
+// NameForUID resolves a UID; ok is false for unknown UIDs.
+func (pm *PackageManager) NameForUID(uid int) (string, bool) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	n, ok := pm.apps[uid]
+	return n, ok
+}
+
+// Len returns the number of installed apps.
+func (pm *PackageManager) Len() int {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return len(pm.apps)
+}

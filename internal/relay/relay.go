@@ -1,0 +1,117 @@
+// Package relay defines the per-connection client objects that splice an
+// internal (tunnel-side) connection to an external (socket-side)
+// connection, the "two-way referencing" of §2.3: the client wraps the
+// socket instance and holds a reference to the TCP state machine, and
+// the engine reaches the client back through the selector key
+// attachment.
+package relay
+
+import (
+	"sync"
+
+	"repro/internal/packet"
+	"repro/internal/sockets"
+	"repro/internal/tcpsm"
+)
+
+// TCPClient splices one app TCP connection to one external socket.
+type TCPClient struct {
+	// Flow is the app-originated direction (app addr -> server addr).
+	Flow packet.FlowKey
+	// SM terminates the internal connection.
+	SM *tcpsm.Machine
+	// Ch is the external socket channel, nil until the socket-connect
+	// thread creates it.
+	Ch *sockets.Channel
+	// Key is the selector registration, nil until registered.
+	Key *sockets.SelectionKey
+
+	// App attribution, filled by the packet-to-app mapping (§3.3).
+	UID int
+	App string
+
+	// SYNAt is the engine clock when the SYN was processed; the lazy
+	// mapper uses it to know how fresh a proc parse must be.
+	SYNAt int64
+
+	mu        sync.Mutex
+	writeBuf  [][]byte
+	bufBytes  int
+	halfClose bool // app FIN received: flush writes, then CloseWrite
+	removed   bool
+}
+
+// NewTCPClient creates a client for a flow with its state machine.
+func NewTCPClient(flow packet.FlowKey, sm *tcpsm.Machine, synAt int64) *TCPClient {
+	return &TCPClient{Flow: flow, SM: sm, SYNAt: synAt, UID: -1, App: "unknown"}
+}
+
+// EnqueueWrite places tunnel data into the socket write buffer (§2.3
+// TCP Data: "places the data from tunnel packets to a socket write
+// buffer and triggers a socket write event").
+func (c *TCPClient) EnqueueWrite(data []byte) {
+	c.mu.Lock()
+	c.writeBuf = append(c.writeBuf, data)
+	c.bufBytes += len(data)
+	c.mu.Unlock()
+}
+
+// TakeWrites drains the write buffer for the socket write event handler.
+func (c *TCPClient) TakeWrites() [][]byte {
+	c.mu.Lock()
+	bufs := c.writeBuf
+	c.writeBuf = nil
+	c.bufBytes = 0
+	c.mu.Unlock()
+	return bufs
+}
+
+// PendingWrites reports whether data awaits a socket write.
+func (c *TCPClient) PendingWrites() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.writeBuf) > 0
+}
+
+// BufferedBytes returns the write-buffer occupancy.
+func (c *TCPClient) BufferedBytes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bufBytes
+}
+
+// RequestHalfClose marks that the app sent FIN; once the write buffer is
+// flushed the engine half-closes the external connection (§2.3 TCP FIN
+// "triggers a half-close write event").
+func (c *TCPClient) RequestHalfClose() {
+	c.mu.Lock()
+	c.halfClose = true
+	c.mu.Unlock()
+}
+
+// HalfCloseRequested reports whether a half close is pending.
+func (c *TCPClient) HalfCloseRequested() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.halfClose
+}
+
+// MarkRemoved flags the client as removed from the cached client list;
+// returns false if it already was (§2.3 TCP RST: "removes the
+// corresponding TCP client object from the cached TCP client list").
+func (c *TCPClient) MarkRemoved() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.removed {
+		return false
+	}
+	c.removed = true
+	return true
+}
+
+// Removed reports whether the client was removed.
+func (c *TCPClient) Removed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.removed
+}

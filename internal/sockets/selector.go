@@ -1,0 +1,283 @@
+package sockets
+
+import (
+	"sync"
+	"time"
+)
+
+// Ops is a bit set of selectable operations, mirroring java.nio
+// SelectionKey interest/ready sets.
+type Ops int
+
+// Selectable operations.
+const (
+	OpRead Ops = 1 << iota
+	OpWrite
+	OpConnect
+)
+
+// SelectionKey binds a channel to a selector with an interest set and an
+// attachment, like java.nio.channels.SelectionKey. MopEye attaches the
+// TCP client object so the event handler can reach the state machine
+// (§2.3 "two-way referencing").
+type SelectionKey struct {
+	sel        *Selector
+	ch         *Channel
+	Attachment interface{}
+
+	mu       sync.Mutex
+	interest Ops
+	ready    Ops
+	readyAt  int64 // clock nanos when readiness was signalled
+	canceled bool
+}
+
+// Channel returns the registered channel.
+func (k *SelectionKey) Channel() *Channel { return k.ch }
+
+// InterestOps returns the current interest set.
+func (k *SelectionKey) InterestOps() Ops {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.interest
+}
+
+// SetInterestOps replaces the interest set. Adding OpWrite immediately
+// marks the key write-ready (the simulated socket is always writable;
+// the send path applies flow control inside Write itself).
+func (k *SelectionKey) SetInterestOps(ops Ops) {
+	k.mu.Lock()
+	k.interest = ops
+	becameWritable := ops&OpWrite != 0
+	k.mu.Unlock()
+	if becameWritable {
+		k.markReady(OpWrite)
+	}
+}
+
+// ReadyOps returns and clears the ready set; the selector loop calls
+// this once per selected key.
+func (k *SelectionKey) ReadyOps() Ops {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	r := k.ready & k.interest
+	k.ready = 0
+	return r
+}
+
+// ReadySince returns the clock nanos at which the oldest pending
+// readiness was signalled; 0 when none. Experiments use it to quantify
+// notification latency.
+func (k *SelectionKey) ReadySince() int64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.readyAt
+}
+
+// markReady records readiness and wakes the selector.
+func (k *SelectionKey) markReady(op Ops) {
+	k.mu.Lock()
+	if k.canceled {
+		k.mu.Unlock()
+		return
+	}
+	if k.ready == 0 {
+		k.readyAt = k.sel.clkNanos()
+	}
+	k.ready |= op
+	interested := k.interest&op != 0
+	k.mu.Unlock()
+	if interested {
+		k.sel.notify()
+	}
+}
+
+// cancel removes the key from its selector.
+func (k *SelectionKey) cancel() {
+	k.mu.Lock()
+	k.canceled = true
+	k.mu.Unlock()
+	k.sel.remove(k)
+}
+
+// Canceled reports whether the key was canceled.
+func (k *SelectionKey) Canceled() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.canceled
+}
+
+// Selector multiplexes channel readiness, mirroring
+// java.nio.channels.Selector including Wakeup — which MopEye's TunReader
+// uses to make the single MainWorker thread monitor the tunnel read
+// queue and the socket events simultaneously (§3.2).
+type Selector struct {
+	p *Provider
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	keys   map[*SelectionKey]struct{}
+	wakeup bool
+	closed bool
+	// Selects counts Select returns; Wakeups counts explicit Wakeup
+	// calls; both feed the CPU accounting.
+	Selects int64
+	Wakeups int64
+}
+
+// NewSelector creates a selector.
+func (p *Provider) NewSelector() *Selector {
+	s := &Selector{p: p, keys: make(map[*SelectionKey]struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *Selector) clkNanos() int64 { return s.p.Clk.Nanos() }
+
+// Register attaches a channel with an interest set, paying the
+// register() cost (§3.4: MopEye defers this call to the socket-connect
+// thread because it is sometimes expensive).
+func (s *Selector) Register(ch *Channel, ops Ops, attachment interface{}) *SelectionKey {
+	if c := drawCost(s.p.Costs.Register, s.p.rng, &s.p.mu); c > 0 {
+		s.p.Clk.SleepFine(c)
+	}
+	key := &SelectionKey{sel: s, ch: ch, Attachment: attachment, interest: ops}
+	s.mu.Lock()
+	s.keys[key] = struct{}{}
+	s.mu.Unlock()
+
+	ch.mu.Lock()
+	ch.key = key
+	if ch.connected {
+		ch.attachReadiness()
+	}
+	ch.mu.Unlock()
+	if ops&OpWrite != 0 {
+		key.markReady(OpWrite)
+	}
+	return key
+}
+
+func (s *Selector) remove(k *SelectionKey) {
+	s.mu.Lock()
+	delete(s.keys, k)
+	s.mu.Unlock()
+}
+
+func (s *Selector) notify() {
+	s.mu.Lock()
+	s.wakeup = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Wakeup unblocks a pending or the next Select call, like
+// java.nio.channels.Selector.wakeup(). TunReader calls this after
+// enqueuing a tunnel packet (§3.2).
+func (s *Selector) Wakeup() {
+	s.mu.Lock()
+	s.Wakeups++
+	s.wakeup = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Select blocks until at least one registered key is ready, a Wakeup
+// arrives, or the selector closes. It returns the keys with non-empty
+// ready∩interest sets. The dispatch cost is applied once per readiness-
+// driven return, modelling the notification latency of challenge C2.
+func (s *Selector) Select() []*SelectionKey {
+	return s.selectImpl(-1)
+}
+
+// SelectTimeout is Select with an upper bound on blocking; zero means
+// poll without blocking. Poll-mode relays (the Haystack baseline) use
+// it.
+func (s *Selector) SelectTimeout(d time.Duration) []*SelectionKey {
+	return s.selectImpl(d)
+}
+
+func (s *Selector) selectImpl(timeout time.Duration) []*SelectionKey {
+	var timer <-chan time.Time
+	if timeout > 0 {
+		timer = s.p.Clk.After(timeout)
+	}
+	for {
+		s.mu.Lock()
+		for {
+			if s.closed {
+				s.mu.Unlock()
+				return nil
+			}
+			ready := s.collectLocked()
+			if len(ready) > 0 {
+				s.wakeup = false
+				s.Selects++
+				s.mu.Unlock()
+				if c := drawCost(s.p.Costs.Dispatch, s.p.rng, &s.p.mu); c > 0 {
+					s.p.Clk.SleepFine(c)
+				}
+				return ready
+			}
+			if s.wakeup {
+				s.wakeup = false
+				s.Selects++
+				s.mu.Unlock()
+				return nil
+			}
+			if timeout == 0 {
+				s.Selects++
+				s.mu.Unlock()
+				return nil
+			}
+			if timer != nil {
+				// Blocking with timeout: wait in small slices so the
+				// timer is honoured without a second goroutine.
+				s.mu.Unlock()
+				select {
+				case <-timer:
+					s.mu.Lock()
+					s.Selects++
+					ready := s.collectLocked()
+					s.wakeup = false
+					s.mu.Unlock()
+					return ready
+				default:
+				}
+				s.p.Clk.Sleep(200 * time.Microsecond)
+				s.mu.Lock()
+				continue
+			}
+			s.cond.Wait()
+		}
+	}
+}
+
+// collectLocked gathers keys whose ready∩interest is non-empty. Caller
+// holds s.mu.
+func (s *Selector) collectLocked() []*SelectionKey {
+	var out []*SelectionKey
+	for k := range s.keys {
+		k.mu.Lock()
+		if !k.canceled && k.ready&k.interest != 0 {
+			out = append(out, k)
+		}
+		k.mu.Unlock()
+	}
+	return out
+}
+
+// Close releases the selector, unblocking any Select.
+func (s *Selector) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// KeyCount returns the number of registered keys.
+func (s *Selector) KeyCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.keys)
+}

@@ -1,0 +1,113 @@
+package sockets
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// UDPSocket is a blocking-mode UDP socket. MopEye's DNS relay runs each
+// DNS transaction in a temporary thread with blocking send/receive so
+// that the post-receive timestamp is accurate (§2.4).
+type UDPSocket struct {
+	p     *Provider
+	local netip.AddrPort
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	inbox  [][]byte
+	closed bool
+}
+
+// OpenUDP creates a UDP socket with an ephemeral local port.
+func (p *Provider) OpenUDP() *UDPSocket {
+	u := &UDPSocket{
+		p:     p,
+		local: netip.AddrPortFrom(p.phoneAddr, p.EphemeralPort()),
+	}
+	u.cond = sync.NewCond(&u.mu)
+	return u
+}
+
+// LocalAddr returns the socket's local address.
+func (u *UDPSocket) LocalAddr() netip.AddrPort { return u.local }
+
+// Protect marks the socket VPN-exempt, same semantics as
+// Channel.Protect.
+func (u *UDPSocket) Protect() {
+	u.p.mu.Lock()
+	exempt := u.p.disallowed
+	if !exempt {
+		u.p.protects++
+	}
+	u.p.mu.Unlock()
+	if exempt {
+		return
+	}
+	if c := drawCost(u.p.Costs.Protect, u.p.rng, &u.p.mu); c > 0 {
+		u.p.Clk.SleepFine(c)
+	}
+}
+
+// SendTo transmits one datagram. Responses from the network are queued
+// for Recv.
+func (u *UDPSocket) SendTo(dst netip.AddrPort, payload []byte) {
+	u.p.Net.SendUDP(u.local, dst, payload, func(resp []byte) {
+		u.mu.Lock()
+		if !u.closed {
+			u.inbox = append(u.inbox, resp)
+			u.cond.Broadcast()
+		}
+		u.mu.Unlock()
+	})
+}
+
+// Recv blocks until a datagram arrives or the timeout elapses.
+func (u *UDPSocket) Recv(timeout time.Duration) ([]byte, error) {
+	deadline := u.p.Clk.Nanos() + int64(timeout)
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	for len(u.inbox) == 0 {
+		if u.closed {
+			return nil, ErrClosedChannel
+		}
+		if timeout <= 0 {
+			return nil, ErrRecvTimeout
+		}
+		remaining := time.Duration(deadline - u.p.Clk.Nanos())
+		if remaining <= 0 {
+			return nil, ErrRecvTimeout
+		}
+		// Wait in slices; the simulated clock has no cond-with-deadline.
+		u.mu.Unlock()
+		slice := 200 * time.Microsecond
+		if remaining < slice {
+			slice = remaining
+		}
+		u.p.Clk.Sleep(slice)
+		u.mu.Lock()
+	}
+	msg := u.inbox[0]
+	u.inbox = u.inbox[1:]
+	return msg, nil
+}
+
+// TryRecv returns a queued datagram without blocking.
+func (u *UDPSocket) TryRecv() ([]byte, bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if len(u.inbox) == 0 {
+		return nil, false
+	}
+	msg := u.inbox[0]
+	u.inbox = u.inbox[1:]
+	return msg, true
+}
+
+// Close releases the socket.
+func (u *UDPSocket) Close() {
+	u.mu.Lock()
+	u.closed = true
+	u.cond.Broadcast()
+	u.mu.Unlock()
+}

@@ -1,0 +1,167 @@
+// Package testbed assembles the full Figure 2 topology — simulated
+// apps, phone kernel stack, TUN device, MopEye engine, socket layer,
+// and the external network with its servers — so experiments, examples
+// and benchmarks build on one fixture.
+package testbed
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/baselines/sniffer"
+	"repro/internal/clock"
+	"repro/internal/engine"
+	"repro/internal/measure"
+	"repro/internal/netsim"
+	"repro/internal/phonestack"
+	"repro/internal/procnet"
+	"repro/internal/resource"
+	"repro/internal/sockets"
+	"repro/internal/tun"
+)
+
+// Default addresses of the fixture.
+var (
+	PhoneVPNAddr = netip.MustParseAddr("10.0.0.2")
+	PhoneWANAddr = netip.MustParseAddr("100.64.0.5")
+	DNSAddr      = netip.MustParseAddrPort("8.8.8.8:53")
+)
+
+// Options configures a Bed.
+type Options struct {
+	// Engine is the engine configuration; engine.Default() if zero.
+	Engine engine.Config
+	// EngineSet marks Engine as explicitly provided.
+	EngineSet bool
+	// Link is the default path (phone to any unconfigured address).
+	Link netsim.LinkParams
+	// DNSLink is the path to the resolver; resolvers sit in the ISP so
+	// they are usually closer (§4.2.3). Zero means same as Link.
+	DNSLink netsim.LinkParams
+	// DNSLinkSet marks DNSLink as explicitly provided.
+	DNSLinkSet bool
+	// DNSThink is the resolver's processing time per query.
+	DNSThink time.Duration
+	// SocketCosts models the Android socket-layer costs; zero costs if
+	// unset (deterministic tests want that).
+	SocketCosts sockets.CostModel
+	// ParseCost models proc file parsing cost.
+	ParseCost procnet.CostModel
+	// TunWriteCost models the tunnel write syscall; nil means free.
+	TunWriteCost func(*rand.Rand) time.Duration
+	// Servers to install; their domains populate the DNS zone.
+	Servers []netsim.ServerSpec
+	// MeterBaseMB is the engine's baseline memory footprint.
+	MeterBaseMB float64
+	// Sniff attaches a tcpdump-style sniffer.
+	Sniff bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Bed is one assembled phone + network + engine.
+type Bed struct {
+	Clk     clock.Clock
+	Net     *netsim.Network
+	Dev     *tun.Device
+	Table   *procnet.Table
+	PM      *procnet.PackageManager
+	Phone   *phonestack.Phone
+	Prov    *sockets.Provider
+	Reader  *procnet.Reader
+	Eng     *engine.Engine
+	Store   *measure.Store
+	Meter   *resource.Meter
+	Sniffer *sniffer.Sniffer
+	Zone    *netsim.Zone
+}
+
+// New builds and starts a bed.
+func New(o Options) (*Bed, error) {
+	if !o.EngineSet {
+		o.Engine = engine.Default()
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MeterBaseMB == 0 {
+		o.MeterBaseMB = 12
+	}
+	clk := clock.NewReal()
+	net := netsim.New(clk, o.Link, o.Seed)
+	dnsLink := o.Link
+	if o.DNSLinkSet {
+		dnsLink = o.DNSLink
+	}
+	zone, err := netsim.Install(net, o.Servers, DNSAddr, dnsLink, o.DNSThink)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
+	}
+
+	dev := tun.New(clk, 8192)
+	if o.TunWriteCost != nil {
+		dev.SetWriteCost(o.TunWriteCost, o.Seed+10)
+	}
+	table := procnet.NewTable()
+	pm := procnet.NewPackageManager()
+	phone := phonestack.New(clk, dev, PhoneVPNAddr, table, o.Seed+20)
+	prov := sockets.NewProvider(net, clk, PhoneWANAddr, o.SocketCosts, o.Seed+30)
+	reader := procnet.NewReader(table, clk, o.ParseCost, o.Seed+40)
+	store := measure.NewStore()
+	meter := resource.NewMeter(resource.DefaultCosts(), o.MeterBaseMB)
+
+	var snf *sniffer.Sniffer
+	if o.Sniff {
+		snf = sniffer.New(net)
+	}
+
+	eng := engine.New(o.Engine, engine.Deps{
+		Clock:    clk,
+		Device:   dev,
+		Sockets:  prov,
+		ProcNet:  reader,
+		Packages: pm,
+		Store:    store,
+		Meter:    meter,
+	})
+	eng.Start()
+
+	return &Bed{
+		Clk: clk, Net: net, Dev: dev, Table: table, PM: pm, Phone: phone,
+		Prov: prov, Reader: reader, Eng: eng, Store: store, Meter: meter,
+		Sniffer: snf, Zone: zone,
+	}, nil
+}
+
+// InstallApp registers an app package under a UID.
+func (b *Bed) InstallApp(uid int, name string) { b.PM.Install(uid, name) }
+
+// Close tears the bed down in dependency order.
+func (b *Bed) Close() {
+	b.Eng.Stop()
+	b.Phone.Close()
+	b.Dev.Close()
+	b.Net.Close()
+}
+
+// EchoServer is a convenience ServerSpec.
+func EchoServer(domain, addr string, rtt time.Duration) netsim.ServerSpec {
+	return netsim.ServerSpec{
+		Domain:  domain,
+		Addr:    netip.MustParseAddrPort(addr),
+		Link:    netsim.LinkParams{Delay: rtt / 2},
+		Handler: netsim.EchoHandler(),
+	}
+}
+
+// ChattyServer serves length-prefixed request/response exchanges.
+func ChattyServer(domain, addr string, rtt time.Duration) netsim.ServerSpec {
+	return netsim.ServerSpec{
+		Domain:  domain,
+		Addr:    netip.MustParseAddrPort(addr),
+		Link:    netsim.LinkParams{Delay: rtt / 2},
+		Handler: netsim.ChattyHandler(),
+	}
+}

@@ -1,0 +1,97 @@
+package testbed
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/measure"
+	"repro/internal/netsim"
+)
+
+func TestNewWiresEverything(t *testing.T) {
+	bed, err := New(Options{
+		Link: netsim.LinkParams{Delay: 2 * time.Millisecond},
+		Servers: []netsim.ServerSpec{
+			EchoServer("echo.example", "203.0.113.1:80", 10*time.Millisecond),
+			ChattyServer("chat.example", "203.0.113.2:80", 20*time.Millisecond),
+		},
+		Sniff: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bed.Close()
+	bed.InstallApp(100, "test.app")
+
+	if _, ok := bed.Zone.Lookup("echo.example"); !ok {
+		t.Error("zone missing echo.example")
+	}
+	if bed.Sniffer == nil {
+		t.Error("sniffer not attached")
+	}
+
+	// End-to-end through the default-config engine.
+	conn, err := bed.Phone.Connect(100, netip.MustParseAddrPort("203.0.113.1:80"), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if err := conn.ReadFull(buf); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for bed.Store.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	recs := bed.Store.Kind(measure.KindTCP)
+	if len(recs) != 1 || recs[0].App != "test.app" {
+		t.Fatalf("records: %+v", recs)
+	}
+}
+
+func TestDNSPathThroughBed(t *testing.T) {
+	bed, err := New(Options{
+		Link:       netsim.LinkParams{Delay: 5 * time.Millisecond},
+		DNSLink:    netsim.LinkParams{Delay: time.Millisecond},
+		DNSLinkSet: true,
+		Servers:    []netsim.ServerSpec{EchoServer("named.example", "203.0.113.3:443", 30*time.Millisecond)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bed.Close()
+	res, err := bed.Phone.Resolve(100, DNSAddr, "named.example", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Addr != netip.MustParseAddr("203.0.113.3") {
+		t.Errorf("resolved %v", res.Addr)
+	}
+	// The DNS link is shorter than the default: RTT ~2 ms + relay.
+	if res.Elapsed > 15*time.Millisecond {
+		t.Errorf("DNS resolve took %v over a 2 ms path", res.Elapsed)
+	}
+}
+
+func TestBadServerSpecRejected(t *testing.T) {
+	_, err := New(Options{
+		Servers: []netsim.ServerSpec{{Domain: "x.example"}}, // nil handler
+	})
+	if err == nil {
+		t.Fatal("nil handler accepted")
+	}
+}
+
+func TestCloseIsIdempotentAndOrdered(t *testing.T) {
+	bed, err := New(Options{Servers: []netsim.ServerSpec{EchoServer("a.example", "203.0.113.4:80", time.Millisecond)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bed.Close()
+	bed.Close() // second close must not panic
+}

@@ -1,0 +1,327 @@
+// Package tun emulates the Android VpnService TUN virtual network
+// device (/dev/tun) that MopEye builds its interception on (§2.2).
+//
+// A TUN device is a point-to-point IP link between the kernel and a
+// user-space process. Here the "kernel side" is the simulated phone
+// stack (package phonestack) injecting app packets, and the "user-space
+// side" is the engine's TunReader/TunWriter threads.
+//
+// The device reproduces the behaviour that drives §3.1 of the paper: its
+// file descriptor starts in non-blocking mode, so a reader either
+// sleep-polls (the ToyVpn / Haystack / PrivacyGuard paradigm) or flips
+// the descriptor to blocking mode the way MopEye does via fcntl /
+// libcore.io.IoUtils.setBlocking. Both modes are observable here, with
+// per-packet queueing delay recorded so experiments can quantify the
+// retrieval latency each paradigm costs.
+package tun
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// MTU is the interface MTU. MopEye sends 1500-byte IP packets to apps
+// (§3.4).
+const MTU = 1500
+
+// Errors.
+var (
+	ErrClosed     = errors.New("tun: device closed")
+	ErrWouldBlock = errors.New("tun: read would block") // EAGAIN analogue
+	ErrTooBig     = errors.New("tun: packet exceeds MTU")
+)
+
+// queued is one packet plus the time it entered the queue, used to
+// measure retrieval delay.
+type queued struct {
+	data     []byte
+	enqueued int64 // clock nanos
+}
+
+// fifo is a blocking-capable packet queue guarded by a condition
+// variable. Closing wakes all waiters.
+type fifo struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []queued
+	closed bool
+	max    int
+	drops  int
+}
+
+func newFIFO(max int) *fifo {
+	f := &fifo{max: max}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+func (f *fifo) put(q queued) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if len(f.items) >= f.max {
+		// Real TUN queues drop on overflow rather than blocking the
+		// kernel.
+		f.drops++
+		return nil
+	}
+	f.items = append(f.items, q)
+	f.cond.Signal()
+	return nil
+}
+
+// take removes the head. If block is false it returns ErrWouldBlock on an
+// empty queue.
+func (f *fifo) take(block bool) (queued, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.items) == 0 {
+		if f.closed {
+			return queued{}, ErrClosed
+		}
+		if !block {
+			return queued{}, ErrWouldBlock
+		}
+		f.cond.Wait()
+	}
+	q := f.items[0]
+	f.items = f.items[1:]
+	return q, nil
+}
+
+func (f *fifo) len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.items)
+}
+
+func (f *fifo) close() {
+	f.mu.Lock()
+	f.closed = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// Stats aggregates device counters. CPU accounting uses EmptyReads: each
+// failed non-blocking read is one futile wakeup of the polling thread.
+type Stats struct {
+	PacketsOut   int // app -> engine packets read
+	PacketsIn    int // engine -> app packets written
+	BytesOut     int64
+	BytesIn      int64
+	EmptyReads   int // non-blocking reads that returned ErrWouldBlock
+	Drops        int // packets dropped on queue overflow
+	ReadDelayMax time.Duration
+	ReadDelaySum time.Duration
+}
+
+// MeanReadDelay returns the average time packets sat in the outbound
+// queue before the engine retrieved them.
+func (s Stats) MeanReadDelay() time.Duration {
+	if s.PacketsOut == 0 {
+		return 0
+	}
+	return s.ReadDelaySum / time.Duration(s.PacketsOut)
+}
+
+// Device is the emulated TUN interface.
+type Device struct {
+	clk clock.Clock
+
+	outbound *fifo // phone -> engine
+	inbound  *fifo // engine -> phone
+
+	mu       sync.Mutex
+	blocking bool
+	stats    Stats
+	closed   bool
+
+	// writeMu serialises engine-side writes: the kernel tunnel accepts
+	// one write at a time, which is why multiple writer threads contend
+	// (§3.5.1 "multiple writing threads share only one tunnel").
+	writeMu   sync.Mutex
+	writeCost func(*rand.Rand) time.Duration
+	writeRng  *rand.Rand
+}
+
+// New creates a TUN device with the given queue capacity per direction.
+// The descriptor starts in non-blocking mode, matching Android, where no
+// API sets blocking mode before 5.0 (§3.1).
+func New(clk clock.Clock, queueCap int) *Device {
+	if queueCap <= 0 {
+		queueCap = 1024
+	}
+	return &Device{
+		clk:      clk,
+		outbound: newFIFO(queueCap),
+		inbound:  newFIFO(queueCap),
+	}
+}
+
+// SetBlocking switches the read mode of the descriptor, the equivalent of
+// fcntl(F_SETFL) at native level or the hidden
+// libcore.io.IoUtils.setBlocking (§3.1).
+func (d *Device) SetBlocking(b bool) {
+	d.mu.Lock()
+	d.blocking = b
+	d.mu.Unlock()
+}
+
+// Blocking reports the current read mode.
+func (d *Device) Blocking() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.blocking
+}
+
+// Read retrieves the next outgoing app packet (the engine side of the
+// tunnel input stream). In blocking mode it waits for a packet; in
+// non-blocking mode it returns ErrWouldBlock immediately when the queue
+// is empty, and the caller is expected to sleep-poll.
+func (d *Device) Read() ([]byte, error) {
+	q, err := d.outbound.take(d.Blocking())
+	if err != nil {
+		if errors.Is(err, ErrWouldBlock) {
+			d.mu.Lock()
+			d.stats.EmptyReads++
+			d.mu.Unlock()
+		}
+		return nil, err
+	}
+	delay := time.Duration(d.clk.Nanos() - q.enqueued)
+	d.mu.Lock()
+	d.stats.PacketsOut++
+	d.stats.BytesOut += int64(len(q.data))
+	d.stats.ReadDelaySum += delay
+	if delay > d.stats.ReadDelayMax {
+		d.stats.ReadDelayMax = delay
+	}
+	d.mu.Unlock()
+	return q.data, nil
+}
+
+// SetWriteCost installs a per-write syscall cost model, drawn once per
+// Write while holding the single-tunnel write lock. This is the cost
+// Table 1 measures: on Android a tunnel write usually takes ~0.1 ms but
+// occasionally much longer, and concurrent writers queue behind it.
+func (d *Device) SetWriteCost(f func(*rand.Rand) time.Duration, seed int64) {
+	d.writeMu.Lock()
+	d.writeCost = f
+	d.writeRng = rand.New(rand.NewSource(seed))
+	d.writeMu.Unlock()
+}
+
+// AndroidWriteCost is a write cost distribution calibrated to §3.5.1:
+// ~0.1 ms typical with an occasional multi-millisecond spike.
+func AndroidWriteCost() func(*rand.Rand) time.Duration {
+	return func(r *rand.Rand) time.Duration {
+		c := 60*time.Microsecond + time.Duration(r.Int63n(int64(120*time.Microsecond)))
+		p := r.Float64()
+		switch {
+		case p < 0.004:
+			c += 5*time.Millisecond + time.Duration(r.Int63n(int64(18*time.Millisecond)))
+		case p < 0.02:
+			c += time.Millisecond + time.Duration(r.Int63n(int64(3*time.Millisecond)))
+		}
+		return c
+	}
+}
+
+// Write sends a packet to the phone side (the engine writing a
+// synthesised packet to the app). It corresponds to writing to
+// mInterface's output stream. Writes are serialised and charge the
+// configured write cost, so concurrent writers observe queueing delay.
+func (d *Device) Write(pkt []byte) error {
+	if len(pkt) > MTU {
+		return ErrTooBig
+	}
+	d.writeMu.Lock()
+	if d.writeCost != nil {
+		c := d.writeCost(d.writeRng)
+		if c > 0 {
+			d.clk.SleepFine(c)
+		}
+	}
+	cp := append([]byte(nil), pkt...)
+	err := d.inbound.put(queued{data: cp, enqueued: d.clk.Nanos()})
+	d.writeMu.Unlock()
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.stats.PacketsIn++
+	d.stats.BytesIn += int64(len(pkt))
+	d.mu.Unlock()
+	return nil
+}
+
+// InjectOutbound is the kernel-side entry point: the phone stack routes
+// an app's IP packet into the TUN. It is also how the engine releases a
+// blocked Read during shutdown — by injecting a dummy packet, exactly the
+// trick §3.1 describes (self-sent pre-5.0, DownloadManager-triggered on
+// 5.0+).
+func (d *Device) InjectOutbound(pkt []byte) error {
+	if len(pkt) > MTU {
+		return ErrTooBig
+	}
+	cp := append([]byte(nil), pkt...)
+	return d.outbound.put(queued{data: cp, enqueued: d.clk.Nanos()})
+}
+
+// ReadInbound delivers the next engine-written packet to the phone side;
+// it always blocks (the phone kernel is always ready to receive).
+func (d *Device) ReadInbound() ([]byte, error) {
+	q, err := d.inbound.take(true)
+	if err != nil {
+		return nil, err
+	}
+	return q.data, nil
+}
+
+// OutboundLen reports how many app packets are waiting for the engine.
+func (d *Device) OutboundLen() int { return d.outbound.len() }
+
+// InboundLen reports how many engine packets are waiting for the phone.
+func (d *Device) InboundLen() int { return d.inbound.len() }
+
+// Stats returns a snapshot of the device counters, folding in queue drop
+// counts.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	s := d.stats
+	d.mu.Unlock()
+	d.outbound.mu.Lock()
+	s.Drops = d.outbound.drops
+	d.outbound.mu.Unlock()
+	d.inbound.mu.Lock()
+	s.Drops += d.inbound.drops
+	d.inbound.mu.Unlock()
+	return s
+}
+
+// Close tears the interface down, waking any blocked readers with
+// ErrClosed.
+func (d *Device) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.mu.Unlock()
+	d.outbound.close()
+	d.inbound.close()
+}
+
+// Closed reports whether Close has been called.
+func (d *Device) Closed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.closed
+}

@@ -1,0 +1,97 @@
+package mopeye
+
+import (
+	"repro/internal/experiments"
+)
+
+// This file re-exports the §4.1 evaluation experiments so downstream
+// users can regenerate the paper's accuracy and overhead results
+// (Tables 1–4, Figure 5) through the public API.
+
+// Table1Options sizes the tunnel-write experiment.
+type Table1Options = experiments.Table1Options
+
+// Table1Result holds the four Table 1 histograms.
+type Table1Result = experiments.Table1Result
+
+// RunTable1 compares directWrite / queueWrite / oldPut / newPut
+// (§3.5.1, Table 1).
+func RunTable1(o Table1Options) (*Table1Result, error) { return experiments.RunTable1(o) }
+
+// DefaultTable1Options mirrors the paper's browsing workload scale.
+func DefaultTable1Options() Table1Options { return experiments.DefaultTable1Options() }
+
+// Table2Options configures the accuracy experiment.
+type Table2Options = experiments.Table2Options
+
+// Table2Row is one accuracy row.
+type Table2Row = experiments.Table2Row
+
+// RunTable2 compares MopEye and MobiPerf against tcpdump ground truth
+// (§4.1.1, Table 2).
+func RunTable2(o Table2Options) ([]Table2Row, error) { return experiments.RunTable2(o) }
+
+// DefaultTable2Options uses the paper's three destinations.
+func DefaultTable2Options() Table2Options { return experiments.DefaultTable2Options() }
+
+// RenderTable2 renders accuracy rows in the paper's layout.
+func RenderTable2(rows []Table2Row) string { return experiments.RenderTable2(rows) }
+
+// Table3Options configures the throughput experiment.
+type Table3Options = experiments.Table3Options
+
+// Table3Result holds the speedtest throughputs.
+type Table3Result = experiments.Table3Result
+
+// RunTable3 measures download/upload throughput without a relay,
+// through MopEye, and through the Haystack-style baseline (Table 3).
+func RunTable3(o Table3Options) (*Table3Result, error) { return experiments.RunTable3(o) }
+
+// DefaultTable3Options mirrors the paper's 25 Mbps dedicated WiFi.
+func DefaultTable3Options() Table3Options { return experiments.DefaultTable3Options() }
+
+// Table4Options configures the resource experiment.
+type Table4Options = experiments.Table4Options
+
+// Table4Result holds the CPU/battery/memory usage.
+type Table4Result = experiments.Table4Result
+
+// RunTable4 meters the video-streaming resource overhead of MopEye and
+// the Haystack-style baseline (Table 4).
+func RunTable4(o Table4Options) (*Table4Result, error) { return experiments.RunTable4(o) }
+
+// DefaultTable4Options uses a 5 Mbps stream.
+func DefaultTable4Options() Table4Options { return experiments.DefaultTable4Options() }
+
+// Fig5Options sizes the mapping-overhead experiment.
+type Fig5Options = experiments.Fig5Options
+
+// Fig5Result holds the mapping-overhead CDFs and mitigation stats.
+type Fig5Result = experiments.Fig5Result
+
+// RunFig5 compares eager and lazy packet-to-app mapping (§3.3,
+// Figure 5).
+func RunFig5(o Fig5Options) (*Fig5Result, error) { return experiments.RunFig5(o) }
+
+// DefaultFig5Options mirrors the paper's web-browsing run.
+func DefaultFig5Options() Fig5Options { return experiments.DefaultFig5Options() }
+
+// LatencyOverheadOptions configures the §4.1.2 latency-overhead
+// experiment.
+type LatencyOverheadOptions = experiments.LatencyOverheadOptions
+
+// LatencyOverheadResult holds connect/data latency with and without the
+// relay.
+type LatencyOverheadResult = experiments.LatencyOverheadResult
+
+// RunLatencyOverhead measures the relay's added connection and data
+// delay (§4.1.2: 3.26–4.27 ms per handshake, 1.22–2.18 ms per data
+// round in the paper).
+func RunLatencyOverhead(o LatencyOverheadOptions) (*LatencyOverheadResult, error) {
+	return experiments.RunLatencyOverhead(o)
+}
+
+// DefaultLatencyOverheadOptions mirrors the paper's Nexus 4 setup.
+func DefaultLatencyOverheadOptions() LatencyOverheadOptions {
+	return experiments.DefaultLatencyOverheadOptions()
+}

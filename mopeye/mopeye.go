@@ -1,0 +1,311 @@
+// Package mopeye is the public API of the MopEye reproduction: a
+// VpnService-style opportunistic per-app network performance monitor
+// (Wu et al., USENIX ATC 2017) running against a simulated phone and
+// network.
+//
+// The central type is Phone: a simulated Android device with the
+// MopEye engine attached to its TUN interface. Apps you connect
+// through the phone are relayed to simulated servers by MopEye's
+// user-space TCP stack, and every connection yields one opportunistic
+// RTT measurement attributed to the owning app — with zero probe
+// traffic, exactly as the paper's system works.
+//
+//	phone, _ := mopeye.New(mopeye.Options{
+//		Servers: []mopeye.Server{{Domain: "api.example.com", RTTMillis: 40}},
+//	})
+//	defer phone.Close()
+//	phone.InstallApp(10001, "com.example.app")
+//	conn, _ := phone.Connect(10001, "api.example.com:443")
+//	conn.Write([]byte("hello"))
+//	conn.Close()
+//	for _, m := range phone.Measurements() {
+//		fmt.Printf("%s -> %s: %v\n", m.App, m.Dst, m.RTT)
+//	}
+//
+// Beyond the live engine, the package exposes the paper's evaluation
+// (RunTable1 … RunTable4, RunFig5) and the crowdsourcing study
+// (NewStudy), which regenerate every table and figure of the paper.
+package mopeye
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/measure"
+	"repro/internal/netsim"
+	"repro/internal/phonestack"
+	"repro/internal/procnet"
+	"repro/internal/sockets"
+	"repro/internal/testbed"
+	"repro/internal/tun"
+)
+
+// Server describes one simulated app server to install on the network.
+type Server struct {
+	// Domain is the server's DNS name (resolvable through the phone).
+	Domain string
+	// Addr optionally pins the server's IP:port; when empty an address
+	// is derived from the domain, port 443.
+	Addr string
+	// RTTMillis is the round-trip time from the phone to this server.
+	RTTMillis float64
+	// JitterMillis adds uniform per-packet jitter.
+	JitterMillis float64
+	// Behaviour selects the canned server behaviour; default Echo.
+	Behaviour ServerBehaviour
+}
+
+// ServerBehaviour selects what an installed server does.
+type ServerBehaviour int
+
+// Server behaviours.
+const (
+	// Echo writes back whatever it receives.
+	Echo ServerBehaviour = iota
+	// Chatty answers 4-byte big-endian length requests with that many
+	// bytes — a generic API server.
+	Chatty
+	// HTTPPing answers HTTP requests with 204 No Content.
+	HTTPPing
+)
+
+// Options configures a simulated phone.
+type Options struct {
+	// Servers to install. At least one is usually wanted.
+	Servers []Server
+	// DefaultRTTMillis is the path RTT to addresses not covered by any
+	// server entry (default 30 ms).
+	DefaultRTTMillis float64
+	// DNSRTTMillis is the path RTT to the system resolver (default:
+	// half the default RTT — resolvers sit in the ISP).
+	DNSRTTMillis float64
+	// Engine overrides the engine configuration; nil means the paper's
+	// shipped configuration with every §3 optimisation on.
+	Engine *engine.Config
+	// RealisticCosts enables the Android cost models (protect/register/
+	// dispatch latency, proc parse cost, tunnel write cost). Off by
+	// default for deterministic behaviour.
+	RealisticCosts bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Measurement is one opportunistic RTT measurement.
+type Measurement = measure.Record
+
+// Phone is a simulated device with MopEye running.
+type Phone struct {
+	bed *testbed.Bed
+}
+
+// New builds a phone, its network, and starts the engine.
+func New(o Options) (*Phone, error) {
+	if o.DefaultRTTMillis <= 0 {
+		o.DefaultRTTMillis = 30
+	}
+	if o.DNSRTTMillis <= 0 {
+		o.DNSRTTMillis = o.DefaultRTTMillis / 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	cfg := engine.Default()
+	if o.Engine != nil {
+		cfg = *o.Engine
+	}
+	opts := testbed.Options{
+		Engine:     cfg,
+		EngineSet:  true,
+		Link:       netsim.LinkParams{Delay: msToDelay(o.DefaultRTTMillis) / 2},
+		DNSLink:    netsim.LinkParams{Delay: msToDelay(o.DNSRTTMillis) / 2},
+		DNSLinkSet: true,
+		Seed:       o.Seed,
+		Sniff:      true,
+	}
+	if o.RealisticCosts {
+		opts.SocketCosts = sockets.AndroidCosts()
+		opts.ParseCost = procnet.AndroidParseCost()
+		opts.TunWriteCost = tun.AndroidWriteCost()
+	}
+	for i, s := range o.Servers {
+		spec, err := serverSpec(s, i)
+		if err != nil {
+			return nil, err
+		}
+		opts.Servers = append(opts.Servers, spec)
+	}
+	bed, err := testbed.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Phone{bed: bed}, nil
+}
+
+func msToDelay(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+func serverSpec(s Server, idx int) (netsim.ServerSpec, error) {
+	var addr netip.AddrPort
+	if s.Addr != "" {
+		a, err := netip.ParseAddrPort(s.Addr)
+		if err != nil {
+			return netsim.ServerSpec{}, fmt.Errorf("mopeye: server %q: %w", s.Domain, err)
+		}
+		addr = a
+	} else {
+		// Derive a stable address from the install order.
+		addr = netip.AddrPortFrom(netip.AddrFrom4([4]byte{198, 51, 100, byte(idx + 1)}), 443)
+	}
+	var h netsim.TCPHandler
+	switch s.Behaviour {
+	case Chatty:
+		h = netsim.ChattyHandler()
+	case HTTPPing:
+		h = netsim.HTTPPingHandler()
+	default:
+		h = netsim.EchoHandler()
+	}
+	return netsim.ServerSpec{
+		Domain: s.Domain,
+		Addr:   addr,
+		Link: netsim.LinkParams{
+			Delay:  msToDelay(s.RTTMillis) / 2,
+			Jitter: msToDelay(s.JitterMillis),
+		},
+		Handler: h,
+	}, nil
+}
+
+// InstallApp registers an app package under a UID, the identity the
+// packet-to-app mapping resolves (§2.2).
+func (p *Phone) InstallApp(uid int, pkg string) { p.bed.InstallApp(uid, pkg) }
+
+// Conn is an app-side TCP connection through the relay.
+type Conn struct {
+	c *phonestack.Conn
+}
+
+// Connect opens a TCP connection as the app with the given UID. The
+// destination is "domain:port" (resolved through the phone's DNS, which
+// itself produces a DNS measurement) or a literal "ip:port".
+func (p *Phone) Connect(uid int, dst string) (*Conn, error) {
+	ap, err := p.resolveDst(uid, dst)
+	if err != nil {
+		return nil, err
+	}
+	c, err := p.bed.Phone.Connect(uid, ap, 15*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{c: c}, nil
+}
+
+func (p *Phone) resolveDst(uid int, dst string) (netip.AddrPort, error) {
+	if ap, err := netip.ParseAddrPort(dst); err == nil {
+		return ap, nil
+	}
+	host, port, err := splitHostPort(dst)
+	if err != nil {
+		return netip.AddrPort{}, err
+	}
+	res, err := p.bed.Phone.Resolve(uid, testbed.DNSAddr, host, 10*time.Second)
+	if err != nil {
+		return netip.AddrPort{}, fmt.Errorf("mopeye: resolving %q: %w", host, err)
+	}
+	return netip.AddrPortFrom(res.Addr, port), nil
+}
+
+func splitHostPort(s string) (host string, port uint16, err error) {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == ':' {
+			var p int
+			if _, err := fmt.Sscanf(s[i+1:], "%d", &p); err != nil || p <= 0 || p > 65535 {
+				return "", 0, fmt.Errorf("mopeye: bad port in %q", s)
+			}
+			return s[:i], uint16(p), nil
+		}
+	}
+	return "", 0, fmt.Errorf("mopeye: missing port in %q", s)
+}
+
+// Resolve performs a DNS lookup as the app with the given UID,
+// producing a DNS measurement in the store.
+func (p *Phone) Resolve(uid int, name string) (netip.Addr, error) {
+	res, err := p.bed.Phone.Resolve(uid, testbed.DNSAddr, name, 10*time.Second)
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	return res.Addr, nil
+}
+
+// Write sends application bytes.
+func (c *Conn) Write(b []byte) (int, error) { return c.c.Write(b) }
+
+// Read receives application bytes.
+func (c *Conn) Read(b []byte) (int, error) { return c.c.Read(b) }
+
+// ReadFull reads exactly len(b) bytes.
+func (c *Conn) ReadFull(b []byte) error { return c.c.ReadFull(b) }
+
+// Close closes the connection (FIN through the relay).
+func (c *Conn) Close() error { return c.c.Close() }
+
+// ConnectLatency is the connect() latency the app itself observed
+// through the relay.
+func (c *Conn) ConnectLatency() time.Duration { return c.c.ConnectElapsed }
+
+// Measurements returns every opportunistic measurement collected so
+// far.
+func (p *Phone) Measurements() []Measurement { return p.bed.Store.Snapshot() }
+
+// ExportCSV writes the phone's measurements as CSV — what MopEye
+// uploads to the crowdsourcing collector.
+func (p *Phone) ExportCSV(w io.Writer) error {
+	return measure.WriteCSV(w, p.bed.Store.Snapshot())
+}
+
+// TCPMeasurements returns only per-app TCP RTTs.
+func (p *Phone) TCPMeasurements() []Measurement {
+	return p.bed.Store.Kind(measure.KindTCP)
+}
+
+// DNSMeasurements returns only DNS RTTs.
+func (p *Phone) DNSMeasurements() []Measurement {
+	return p.bed.Store.Kind(measure.KindDNS)
+}
+
+// AppMedians returns each app's median RTT in milliseconds over apps
+// with at least minN measurements.
+func (p *Phone) AppMedians(minN int) map[string]float64 {
+	return measure.AppMedians(p.TCPMeasurements(), minN)
+}
+
+// EngineStats exposes the engine's internal counters.
+func (p *Phone) EngineStats() engine.Stats { return p.bed.Eng.Stats() }
+
+// AppTraffic is one app's relayed-volume report — the beyond-RTT
+// metric extension the paper's conclusion proposes.
+type AppTraffic = engine.AppTraffic
+
+// AppTraffic returns per-app traffic volumes, largest first. Like the
+// RTT measurement, this is opportunistic: it costs nothing beyond the
+// relaying MopEye already does.
+func (p *Phone) AppTraffic() []AppTraffic { return p.bed.Eng.AppTraffic() }
+
+// GroundTruthRTTs returns the wire-level (tcpdump-equivalent) handshake
+// RTTs in milliseconds observed toward dst, for validating measurement
+// accuracy.
+func (p *Phone) GroundTruthRTTs(dst string) ([]float64, error) {
+	ap, err := netip.ParseAddrPort(dst)
+	if err != nil {
+		return nil, fmt.Errorf("mopeye: GroundTruthRTTs wants ip:port, got %q: %w", dst, err)
+	}
+	return p.bed.Sniffer.RTTsTo(ap), nil
+}
+
+// Close stops the engine and tears the simulation down.
+func (p *Phone) Close() { p.bed.Close() }

@@ -1,0 +1,270 @@
+package mopeye
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/measure"
+)
+
+func newPhone(t *testing.T) *Phone {
+	t.Helper()
+	p, err := New(Options{
+		Servers: []Server{
+			{Domain: "api.example.com", RTTMillis: 40},
+			{Domain: "cdn.example.com", RTTMillis: 12, Behaviour: Chatty},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	p.InstallApp(10001, "com.example.app")
+	return p
+}
+
+func TestConnectMeasureEcho(t *testing.T) {
+	p := newPhone(t)
+	conn, err := p.Connect(10001, "api.example.com:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("through the facade")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if err := conn.ReadFull(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(msg) {
+		t.Fatalf("echo %q", buf)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for len(p.TCPMeasurements()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	tcp := p.TCPMeasurements()
+	if len(tcp) != 1 {
+		t.Fatalf("TCP measurements: %d", len(tcp))
+	}
+	if tcp[0].App != "com.example.app" {
+		t.Errorf("app: %q", tcp[0].App)
+	}
+	if ms := tcp[0].RTT.Seconds() * 1000; ms < 38 || ms > 80 {
+		t.Errorf("RTT %.1f ms, configured 40", ms)
+	}
+	// Connecting by domain produced one DNS measurement too.
+	if len(p.DNSMeasurements()) != 1 {
+		t.Errorf("DNS measurements: %d", len(p.DNSMeasurements()))
+	}
+}
+
+func TestLiteralAddressSkipsDNS(t *testing.T) {
+	p, err := New(Options{
+		Servers: []Server{{Domain: "x.example", Addr: "203.0.113.7:80", RTTMillis: 20}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.InstallApp(1, "a")
+	conn, err := p.Connect(1, "203.0.113.7:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if len(p.DNSMeasurements()) != 0 {
+		t.Error("literal address still triggered DNS")
+	}
+}
+
+func TestGroundTruthMatchesMeasurement(t *testing.T) {
+	p, err := New(Options{
+		Servers: []Server{{Domain: "gt.example", Addr: "203.0.113.9:443", RTTMillis: 24}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.InstallApp(7, "com.gt")
+	for i := 0; i < 5; i++ {
+		conn, err := p.Connect(7, "203.0.113.9:443")
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Close()
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for len(p.TCPMeasurements()) < 5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	truth, err := p.GroundTruthRTTs("203.0.113.9:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) != 5 {
+		t.Fatalf("ground truth samples: %d", len(truth))
+	}
+	recs := p.TCPMeasurements()
+	for i, r := range recs {
+		ms := r.RTT.Seconds() * 1000
+		if d := ms - truth[i]; d < -1.5 || d > 1.5 {
+			t.Errorf("probe %d: MopEye %.2f vs tcpdump %.2f (paper: within 1 ms)", i, ms, truth[i])
+		}
+	}
+}
+
+func TestAppMedians(t *testing.T) {
+	p := newPhone(t)
+	for i := 0; i < 4; i++ {
+		conn, err := p.Connect(10001, "api.example.com:443")
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Close()
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for len(p.TCPMeasurements()) < 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	med := p.AppMedians(2)
+	m, ok := med["com.example.app"]
+	if !ok {
+		t.Fatalf("app missing from medians: %v", med)
+	}
+	if m < 35 || m > 80 {
+		t.Errorf("median %.1f ms", m)
+	}
+}
+
+func TestBadDestinations(t *testing.T) {
+	p := newPhone(t)
+	if _, err := p.Connect(10001, "noport.example.com"); err == nil {
+		t.Error("missing port accepted")
+	}
+	if _, err := p.Connect(10001, "nosuch.example:443"); err == nil {
+		t.Error("unresolvable name accepted")
+	}
+}
+
+func TestEngineStatsExposed(t *testing.T) {
+	p := newPhone(t)
+	conn, err := p.Connect(10001, "api.example.com:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	st := p.EngineStats()
+	if st.SYNs < 1 || st.Established < 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestStudyReports(t *testing.T) {
+	s := NewStudy(0.01, 99)
+	all := s.ReportAll()
+	for _, want := range []string{
+		"Figure 6", "Figure 7", "Figure 8", "Figure 9(a)", "Figure 9(b)",
+		"Table 5", "Figure 10(a)", "Figure 10(b)", "Table 6", "Figure 11",
+		"Case 1", "Case 2", "Whatsapp", "Jio",
+	} {
+		if !strings.Contains(all, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if !strings.Contains(s.Summary(), "measurements") {
+		t.Error("summary malformed")
+	}
+}
+
+func TestChattyBehaviour(t *testing.T) {
+	p := newPhone(t)
+	conn, err := p.Connect(10001, "cdn.example.com:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{0, 0, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	if err := conn.ReadFull(buf); err != nil {
+		t.Fatalf("chatty response: %v", err)
+	}
+}
+
+func TestExportCSVRoundTripsThroughStudy(t *testing.T) {
+	s := NewStudy(0.005, 11)
+	var buf bytes.Buffer
+	if err := s.ExportCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := measure.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := s.Dataset().Records
+	if len(recs) != len(orig) {
+		t.Fatalf("rows: %d want %d", len(recs), len(orig))
+	}
+	// Spot-check exact round trip of a few rows.
+	for _, i := range []int{0, len(recs) / 2, len(recs) - 1} {
+		if recs[i] != orig[i] {
+			t.Errorf("row %d differs:\n got %+v\nwant %+v", i, recs[i], orig[i])
+		}
+	}
+}
+
+func TestPhoneExportCSV(t *testing.T) {
+	p := newPhone(t)
+	conn, err := p.Connect(10001, "api.example.com:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for len(p.Measurements()) < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	var buf bytes.Buffer
+	if err := p.ExportCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := measure.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(p.Measurements()) {
+		t.Errorf("exported %d of %d", len(recs), len(p.Measurements()))
+	}
+}
+
+func TestAppTrafficViaFacade(t *testing.T) {
+	p := newPhone(t)
+	conn, err := p.Connect(10001, "api.example.com:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(make([]byte, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5000)
+	if err := conn.ReadFull(buf); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, a := range p.AppTraffic() {
+			if a.App == "com.example.app" && a.BytesUp >= 5000 && a.BytesDown >= 5000 {
+				return
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("traffic not attributed: %+v", p.AppTraffic())
+}
