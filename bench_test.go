@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -329,6 +330,36 @@ func BenchmarkRelayEcho(b *testing.B) {
 		if err := conn.ReadFull(buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngineParallel sweeps the engine's worker counts under a
+// multi-app packet flood — the scaling workload the single-phone paper
+// never exercises. The custom metrics carry relay throughput per
+// worker count; on a multi-core host Workers=4 should clearly beat
+// Workers=1, while Workers=1 is the paper-faithful MainWorker loop.
+func BenchmarkEngineParallel(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			o := mopeye.DefaultParallelBenchOptions()
+			o.WorkerCounts = []int{w}
+			var pktsPerSec float64
+			var pkts int
+			for i := 0; i < b.N; i++ {
+				res, err := mopeye.RunParallelBench(o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				row := res.Rows[0]
+				if row.Errors > 0 {
+					b.Fatalf("flood errors: %d", row.Errors)
+				}
+				pktsPerSec = row.PacketsPerSec
+				pkts = row.Packets
+			}
+			b.ReportMetric(pktsPerSec, "pkts/sec")
+			b.ReportMetric(float64(pkts), "pkts/run")
+		})
 	}
 }
 

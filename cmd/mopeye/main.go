@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mopeye [-apps N] [-conns N] [-pages N] [-realistic] [-variant mopeye|toyvpn|haystack]
+//	mopeye [-apps N] [-conns N] [-pages N] [-realistic] [-variant mopeye|toyvpn|haystack] [-workers N]
 package main
 
 import (
@@ -27,6 +27,7 @@ func main() {
 	conns := flag.Int("conns", 4, "concurrent connections per round")
 	realistic := flag.Bool("realistic", true, "enable Android-like cost models")
 	variant := flag.String("variant", "mopeye", "engine variant: mopeye, toyvpn or haystack")
+	workers := flag.Int("workers", 1, "packet-processing workers (1 = paper-faithful MainWorker)")
 	flag.Parse()
 
 	var cfg engine.Config
@@ -52,6 +53,7 @@ func main() {
 	phone, err := mopeye.New(mopeye.Options{
 		Servers:        servers,
 		Engine:         &cfg,
+		Workers:        *workers,
 		RealisticCosts: *realistic,
 	})
 	if err != nil {
@@ -70,8 +72,8 @@ func main() {
 		phone.InstallApp(10001+i, pkgs[i])
 	}
 
-	fmt.Printf("running %s engine: %d apps x %d rounds x %d connections...\n",
-		*variant, *apps, *pages, *conns)
+	fmt.Printf("running %s engine (%d workers): %d apps x %d rounds x %d connections...\n",
+		*variant, *workers, *apps, *pages, *conns)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for a := 0; a < *apps; a++ {

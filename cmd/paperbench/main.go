@@ -1,10 +1,12 @@
 // Command paperbench runs the §4.1 evaluation experiments — measurement
 // accuracy and relay overhead — and prints each table/figure in the
-// paper's layout.
+// paper's layout. Beyond the paper, -exp parallel sweeps the engine's
+// worker counts under a multi-app packet flood (a workload the
+// single-phone paper never exercises).
 //
 // Usage:
 //
-//	paperbench [-exp all|table1|table2|table3|table4|fig5] [-fast]
+//	paperbench [-exp all|table1|table2|table3|table4|fig5|overhead|parallel] [-fast] [-workers 1,2,4]
 package main
 
 import (
@@ -12,14 +14,30 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/mopeye"
 )
 
+// parseWorkers turns "1,2,4" into a sweep list.
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad worker count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig5, overhead")
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig5, overhead, parallel")
 	fast := flag.Bool("fast", false, "smaller workloads / shorter runs")
+	workers := flag.String("workers", "1,2,4", "worker counts swept by -exp parallel")
 	flag.Parse()
 
 	run := func(name string) {
@@ -88,6 +106,22 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Println(res)
+		case "parallel":
+			o := mopeye.DefaultParallelBenchOptions()
+			sweep, err := parseWorkers(*workers)
+			if err != nil {
+				log.Fatal(err)
+			}
+			o.WorkerCounts = sweep
+			if *fast {
+				o.EchoesPerConn = 10
+			}
+			res, err := mopeye.RunParallelBench(o)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Engine scaling — multi-app flood across worker counts:")
+			fmt.Println(res)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
@@ -96,7 +130,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"table1", "table2", "table3", "table4", "fig5", "overhead"} {
+		for _, name := range []string{"table1", "table2", "table3", "table4", "fig5", "overhead", "parallel"} {
 			run(name)
 		}
 		return

@@ -88,6 +88,22 @@ type Config struct {
 	ReadMode     ReadMode
 	PollInterval time.Duration // sleep between empty polls for ReadPoll*
 
+	// Workers selects how many packet-processing workers run. The
+	// paper-faithful default is 1: the single MainWorker thread of
+	// Figure 4, which is what every ablation (Tables 1–4) measures.
+	// With N > 1 the engine runs the sharded pipeline: a dispatcher
+	// owns the selector and fans events out to N workers, each flow
+	// pinned to the worker owning its flow-table shard, so per-flow
+	// packet ordering is preserved while distinct flows relay in
+	// parallel. MainLoopPoll > 0 (the Haystack-style polled loop)
+	// always runs single-worker.
+	Workers int
+
+	// FlowShards is the flow-table shard count (rounded up to a power
+	// of two); zero selects flowtable.DefaultShards. More shards than
+	// workers keeps the shard → worker assignment even.
+	FlowShards int
+
 	// MainLoopPoll, when positive, replaces the event-driven MainWorker
 	// (Select + Wakeup, §3.2) with a fixed-interval poll-process cycle:
 	// sleep, then drain whatever sockets and tunnel packets have
@@ -147,6 +163,7 @@ type Config struct {
 func Default() Config {
 	return Config{
 		ReadMode:               ReadBlocking,
+		Workers:                1,
 		WriteScheme:            QueueWriteNewPut,
 		SpinThreshold:          512,
 		Mapping:                MapLazy,

@@ -52,9 +52,7 @@ func (e *Engine) dnsTransaction(appSrc, server netip.AddrPort, query []byte) {
 	if err != nil {
 		return // the app's own resolver timeout handles retries
 	}
-	e.mu.Lock()
-	e.stats.DNSMeasurements++
-	e.mu.Unlock()
+	e.ctr.dnsMeasurements.Add(1)
 	e.traffic.dns("system.dns")
 	e.store.Add(measure.Record{
 		Kind:    measure.KindDNS,
@@ -86,8 +84,6 @@ func (e *Engine) udpRelay(appSrc, dst netip.AddrPort, payload []byte) {
 	if err != nil {
 		return
 	}
-	e.mu.Lock()
-	e.stats.UDPRelayed++
-	e.mu.Unlock()
+	e.ctr.udpRelayed.Add(1)
 	e.emit(packet.UDPPacket(dst, appSrc, resp))
 }

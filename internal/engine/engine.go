@@ -1,14 +1,13 @@
 package engine
 
 import (
-	"errors"
 	"math/rand"
 	"sync"
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/flowtable"
 	"repro/internal/measure"
-	"repro/internal/packet"
 	"repro/internal/procnet"
 	"repro/internal/relay"
 	"repro/internal/resource"
@@ -18,30 +17,15 @@ import (
 	"repro/internal/tun"
 )
 
-// Stats aggregates engine activity.
-type Stats struct {
-	SYNs            int
-	Established     int
-	ConnectFailures int
-	TCPMeasurements int
-	DNSMeasurements int
-	PacketsFromTun  int
-	PacketsToTun    int
-	BytesUp         int64
-	BytesDown       int64
-	PureACKs        int
-	UDPRelayed      int
-	DecodeErrors    int
-
-	// WriteHist is the tunnel-write delay as observed by the writing
-	// thread; PutHist is the enqueue delay (Table 1).
-	WriteHist stats.DelayHistogram
-	PutHist   stats.DelayHistogram
-
-	Mapping MappingStats
-}
-
 // Engine is one running MopEye instance (the MopEyeService of Figure 4).
+//
+// The packet-processing core comes in two shapes selected by
+// Config.Workers: the paper-faithful single MainWorker loop (worker.go)
+// and, for Workers > 1, a sharded pipeline in which a dispatcher fans
+// selector events and tunnel packets out to N workers, each flow pinned
+// to the worker that owns its flow-table shard. Per-flow state lives in
+// the sharded flowtable; hot counters are atomics (stats.go) so workers
+// never contend on a global engine lock.
 type Engine struct {
 	cfg    Config
 	clk    clock.Clock
@@ -59,9 +43,17 @@ type Engine struct {
 
 	traffic *trafficBook
 
-	mu      sync.Mutex
-	clients map[packet.FlowKey]*relay.TCPClient
-	stats   Stats
+	// flows is the sharded flow table. The shard index of a flow also
+	// pins it to a worker in multi-worker mode.
+	flows   *flowtable.Table[*relay.TCPClient]
+	workers []*worker // non-nil only when the sharded pipeline runs
+
+	ctr counters // hot counters, all atomic (stats.go)
+
+	histMu    sync.Mutex
+	writeHist stats.DelayHistogram
+
+	mu      sync.Mutex // lifecycle state only
 	running bool
 	stopped chan struct{}
 	wg      sync.WaitGroup
@@ -94,6 +86,9 @@ func New(cfg Config, d Deps) *Engine {
 	if cfg.UDPTimeout <= 0 {
 		cfg.UDPTimeout = 2 * time.Second
 	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
 	if d.Store == nil {
 		d.Store = measure.NewStore()
 	}
@@ -110,7 +105,7 @@ func New(cfg Config, d Deps) *Engine {
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		traffic: newTrafficBook(),
 		readQ:   &readQueue{},
-		clients: make(map[packet.FlowKey]*relay.TCPClient),
+		flows:   flowtable.New[*relay.TCPClient](cfg.FlowShards),
 		stopped: make(chan struct{}),
 	}
 	e.sel = e.prov.NewSelector()
@@ -126,662 +121,6 @@ func (e *Engine) Store() *measure.Store { return e.store }
 
 // Meter returns the resource meter.
 func (e *Engine) Meter() *resource.Meter { return e.meter }
-
-// Start launches the engine threads: TunReader, MainWorker, and (for
-// queueWrite schemes) TunWriter. It also performs the one-time
-// addDisallowedApplication when configured (§3.5.2: "the call is best
-// invoked during the initialization of MopEye").
-func (e *Engine) Start() {
-	e.mu.Lock()
-	if e.running {
-		e.mu.Unlock()
-		return
-	}
-	e.running = true
-	e.started = e.clk.Now()
-	e.mu.Unlock()
-
-	if e.cfg.Protect == ProtectDisallowed {
-		e.prov.AddDisallowedApplication()
-	}
-	e.dev.SetBlocking(e.cfg.ReadMode == ReadBlocking)
-
-	e.wg.Add(1)
-	go e.tunReader()
-	e.wg.Add(1)
-	go e.mainWorker()
-	if e.writeQ != nil {
-		e.wg.Add(1)
-		go e.tunWriter()
-	}
-}
-
-// Stop shuts the engine down. A dummy packet releases the blocked
-// tunnel read (§3.1), the selector is closed to release MainWorker, and
-// all external sockets are closed.
-func (e *Engine) Stop() {
-	e.mu.Lock()
-	if !e.running {
-		e.mu.Unlock()
-		return
-	}
-	e.running = false
-	close(e.stopped)
-	e.mu.Unlock()
-
-	// Release a TunReader blocked in read() by injecting a dummy packet
-	// — MopEye's own trick (self-sent below 5.0, DownloadManager-
-	// triggered on 5.0+; the bytes are identical from the reader's
-	// perspective).
-	_ = e.dev.InjectOutbound([]byte{0})
-	e.sel.Wakeup()
-	if e.writeQ != nil {
-		e.writeQ.close()
-	}
-	e.wg.Wait()
-	e.sel.Close()
-
-	e.mu.Lock()
-	clients := make([]*relay.TCPClient, 0, len(e.clients))
-	for _, c := range e.clients {
-		clients = append(clients, c)
-	}
-	e.clients = make(map[packet.FlowKey]*relay.TCPClient)
-	e.mu.Unlock()
-	for _, c := range clients {
-		if c.Ch != nil {
-			c.Ch.Close()
-		}
-	}
-}
-
-func (e *Engine) isRunning() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.running
-}
-
-// Stats snapshots the engine counters, folding in mapper and queue
-// state.
-func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	s := e.stats
-	e.mu.Unlock()
-	s.Mapping = e.mapper.stats()
-	if e.writeQ != nil {
-		s.PutHist = e.writeQ.putHistogram()
-	}
-	return s
-}
-
-// ActiveClients reports the number of live spliced connections.
-func (e *Engine) ActiveClients() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.clients)
-}
-
-// tunReader is the dedicated tunnel read thread (§3.1). In blocking
-// mode each read parks until a packet arrives: zero retrieval delay and
-// zero empty wakeups. In poll modes it mirrors ToyVpn: non-blocking
-// reads with sleeps between failures.
-func (e *Engine) tunReader() {
-	defer e.wg.Done()
-	sleeping := e.cfg.PollInterval
-	if sleeping <= 0 {
-		sleeping = 100 * time.Millisecond
-	}
-	consecutive := 0
-	for e.isRunning() {
-		raw, err := e.dev.Read()
-		switch {
-		case err == nil:
-			consecutive++
-			e.readQ.push(raw)
-			e.sel.Wakeup()
-		case errors.Is(err, tun.ErrWouldBlock):
-			consecutive = 0
-			e.meter.AddWakeups(1)
-			switch e.cfg.ReadMode {
-			case ReadPollAdaptive:
-				// ToyVpn's "intelligent sleeping": after activity, poll
-				// a few rounds at a short interval before backing off.
-				e.clk.Sleep(time.Millisecond)
-			default:
-				e.clk.Sleep(sleeping)
-			}
-		case errors.Is(err, tun.ErrClosed):
-			return
-		default:
-			return
-		}
-		// In adaptive mode, bursts suppress sleeping entirely: loop
-		// again immediately while reads succeed.
-		_ = consecutive
-	}
-}
-
-// tunWriter drains the write queue into the tunnel (§3.5.1).
-func (e *Engine) tunWriter() {
-	defer e.wg.Done()
-	for {
-		raw, ok := e.writeQ.take()
-		if !ok {
-			return
-		}
-		start := e.clk.Nanos()
-		err := e.dev.Write(raw)
-		d := time.Duration(e.clk.Nanos() - start)
-		e.mu.Lock()
-		e.stats.WriteHist.Add(d)
-		if err == nil {
-			e.stats.PacketsToTun++
-		}
-		e.mu.Unlock()
-	}
-}
-
-// emit sends one synthesised packet toward the app, through the
-// configured write scheme. This is the state machines' emit hook.
-func (e *Engine) emit(p *packet.Packet) {
-	raw, err := p.Encode()
-	if err != nil {
-		return
-	}
-	if e.writeQ != nil {
-		e.writeQ.put(raw)
-		return
-	}
-	// directWrite: pay the tunnel write (and its contention) here, on
-	// the producing thread.
-	start := e.clk.Nanos()
-	werr := e.dev.Write(raw)
-	d := time.Duration(e.clk.Nanos() - start)
-	e.mu.Lock()
-	e.stats.WriteHist.Add(d)
-	if werr == nil {
-		e.stats.PacketsToTun++
-	}
-	e.mu.Unlock()
-}
-
-// mainWorker is the single packet-processing thread (Figure 4): one
-// selector wait point covers socket events and the tunnel read queue
-// (§3.2), and the two event sources are checked in an interleaved loop.
-func (e *Engine) mainWorker() {
-	defer e.wg.Done()
-	if e.cfg.MainLoopPoll > 0 {
-		e.mainWorkerPolled()
-		return
-	}
-	for e.isRunning() {
-		keys := e.sel.Select()
-		for {
-			progress := false
-			for _, k := range keys {
-				e.handleSocketKey(k)
-				progress = true
-			}
-			keys = keys[:0]
-			// Interleave: after a batch of socket events, drain a batch
-			// of tunnel packets, then re-poll without blocking.
-			for i := 0; i < 64; i++ {
-				raw, ok := e.readQ.pop()
-				if !ok {
-					break
-				}
-				e.handleTunnelPacket(raw)
-				progress = true
-			}
-			if !progress {
-				break
-			}
-			if !e.isRunning() {
-				return
-			}
-			keys = e.sel.SelectTimeout(0)
-		}
-	}
-}
-
-// mainWorkerPolled is the poll-based main loop of the Haystack-style
-// baseline: a fixed sleep, then a drain of both event sources. Events
-// arriving just after a drain wait out the entire next sleep, which
-// batches the relay in poll-interval cycles.
-func (e *Engine) mainWorkerPolled() {
-	for e.isRunning() {
-		e.clk.Sleep(e.cfg.MainLoopPoll)
-		e.meter.AddWakeups(1)
-		for {
-			progress := false
-			for _, k := range e.sel.SelectTimeout(0) {
-				e.handleSocketKey(k)
-				progress = true
-			}
-			for {
-				raw, ok := e.readQ.pop()
-				if !ok {
-					break
-				}
-				e.handleTunnelPacket(raw)
-				progress = true
-			}
-			if !progress {
-				break
-			}
-			if !e.isRunning() {
-				return
-			}
-		}
-	}
-}
-
-// handleTunnelPacket implements §2.3's tunnel-packet processing.
-func (e *Engine) handleTunnelPacket(raw []byte) {
-	pkt, err := packet.Decode(raw)
-	if err != nil {
-		e.mu.Lock()
-		e.stats.DecodeErrors++
-		e.mu.Unlock()
-		return
-	}
-	e.mu.Lock()
-	e.stats.PacketsFromTun++
-	e.mu.Unlock()
-	if e.cfg.PerPacketCost > 0 {
-		e.clk.SleepFine(e.cfg.PerPacketCost)
-	}
-	if e.cfg.InspectPackets {
-		e.meter.AddInspected(1)
-	}
-	e.meter.AddPackets(1, int64(len(raw)))
-
-	switch {
-	case pkt.IsTCP():
-		e.handleTunnelTCP(pkt)
-	case pkt.IsUDP():
-		e.handleTunnelUDP(pkt)
-	}
-}
-
-func (e *Engine) handleTunnelTCP(pkt *packet.Packet) {
-	flow := packet.Flow(pkt)
-	t := pkt.TCP
-
-	e.mu.Lock()
-	cl := e.clients[flow]
-	e.mu.Unlock()
-
-	switch {
-	case t.Has(packet.FlagSYN) && !t.Has(packet.FlagACK):
-		if cl != nil {
-			return // SYN retransmission while connect in flight
-		}
-		e.onSYN(pkt, flow)
-
-	case t.Has(packet.FlagRST):
-		if cl == nil {
-			return
-		}
-		// §2.3 TCP RST: close the external connection, drop the client.
-		cl.SM.OnRST()
-		e.removeClient(cl)
-		if cl.Ch != nil {
-			cl.Ch.Reset()
-		}
-
-	case t.Has(packet.FlagFIN):
-		if cl == nil {
-			return
-		}
-		data, err := cl.SM.OnFIN(pkt)
-		if err == nil && len(data) > 0 {
-			cl.EnqueueWrite(data)
-		}
-		cl.RequestHalfClose()
-		e.triggerWrite(cl)
-
-	case len(pkt.Payload) > 0:
-		if cl == nil {
-			return
-		}
-		data, err := cl.SM.OnData(pkt)
-		if err != nil || len(data) == 0 {
-			return
-		}
-		e.mu.Lock()
-		e.stats.BytesUp += int64(len(data))
-		e.mu.Unlock()
-		cl.EnqueueWrite(data)
-		e.triggerWrite(cl)
-
-	default:
-		// Pure ACK: discarded, nothing to relay (§2.3).
-		if cl != nil {
-			cl.SM.OnPureACK()
-		}
-		e.mu.Lock()
-		e.stats.PureACKs++
-		e.mu.Unlock()
-	}
-}
-
-// triggerWrite raises the socket write event for a client whose buffer
-// has data (or a pending half close). Before the external connection
-// exists the data simply waits in the buffer; the socket-connect thread
-// triggers the flush after registering.
-func (e *Engine) triggerWrite(cl *relay.TCPClient) {
-	if cl.Key != nil && cl.Ch != nil && cl.Ch.Connected() {
-		cl.Key.SetInterestOps(sockets.OpRead | sockets.OpWrite)
-	}
-}
-
-// onSYN creates the state machine and client and starts the temporary
-// socket-connect thread (§2.4).
-func (e *Engine) onSYN(pkt *packet.Packet, flow packet.FlowKey) {
-	e.rngMu.Lock()
-	iss := e.rng.Uint32()
-	e.rngMu.Unlock()
-	sm, err := newMachine(pkt, iss, e.emit)
-	if err != nil {
-		return
-	}
-	cl := relay.NewTCPClient(flow, sm, e.clk.Nanos())
-	e.mu.Lock()
-	e.stats.SYNs++
-	e.clients[flow] = cl
-	n := len(e.clients)
-	e.mu.Unlock()
-	e.meter.ObserveConns(n)
-
-	if e.cfg.Mapping == MapEager {
-		// Pre-§3.3 behaviour: parse on the main thread, per SYN.
-		info, _ := e.mapper.resolve(flow.Src, flow.Dst, cl.SYNAt)
-		cl.UID, cl.App = info.UID, info.Name
-	}
-	if e.cfg.Protect == ProtectPerSocketMainThread {
-		// Naive placement: the protect cost lands on MainWorker,
-		// stalling every other flow (§3.5.2).
-		ch := e.prov.Open()
-		ch.Protect()
-		cl.Ch = ch
-	}
-
-	if e.cfg.BlockingConnectMeasure {
-		go e.socketConnectBlocking(cl)
-	} else {
-		e.socketConnectEventDriven(cl)
-	}
-}
-
-// socketConnectBlocking is the temporary socket-connect thread: blocking
-// connect with timestamps immediately around the call (§2.4), then the
-// internal handshake, deferred selector registration (§3.4), and lazy
-// mapping (§3.3).
-func (e *Engine) socketConnectBlocking(cl *relay.TCPClient) {
-	// The temporary thread pays its spawn/scheduling latency first;
-	// the measurement timestamps below are unaffected (§2.4's design
-	// keeps them immediately around the connect call).
-	e.prov.ChargeThreadSpawn()
-	ch := cl.Ch
-	if ch == nil {
-		ch = e.prov.Open()
-		cl.Ch = ch
-	}
-	if e.cfg.Protect == ProtectPerSocket {
-		// §3.5.2 mitigation for pre-5.0: pay protect() here so only
-		// this connection's SYN is delayed.
-		ch.Protect()
-	}
-	t0 := e.clk.Nanos()
-	err := ch.Connect(cl.Flow.Dst)
-	t1 := e.clk.Nanos()
-	if err != nil {
-		cl.SM.Refuse()
-		e.connectFailed(cl)
-		return
-	}
-	// Only after establishing the external connection is the handshake
-	// with the app completed (§2.3).
-	if err := cl.SM.CompleteHandshake(); err != nil {
-		e.removeClient(cl)
-		ch.Close()
-		return
-	}
-	e.mu.Lock()
-	e.stats.Established++
-	e.mu.Unlock()
-
-	if e.cfg.DeferRegister {
-		cl.Key = e.sel.Register(ch, sockets.OpRead, cl)
-	} else {
-		// Registration already happened on the main thread in
-		// event-driven mode; in blocking mode without deferral we still
-		// must register somewhere — do it here but the cost model is
-		// identical.
-		cl.Key = e.sel.Register(ch, sockets.OpRead, cl)
-	}
-	if cl.PendingWrites() || cl.HalfCloseRequested() {
-		cl.Key.SetInterestOps(sockets.OpRead | sockets.OpWrite)
-	}
-
-	// Lazy mapping: after the connection is established or failed, so
-	// the app-side handshake is never delayed (§3.3).
-	if e.cfg.Mapping != MapEager {
-		info, _ := e.mapper.resolve(cl.Flow.Src, cl.Flow.Dst, cl.SYNAt)
-		cl.UID, cl.App = info.UID, info.Name
-	}
-	e.recordTCP(cl, time.Duration(t1-t0))
-}
-
-// socketConnectEventDriven is the pre-§2.4 alternative: non-blocking
-// connect whose completion is observed through the selector, inheriting
-// dispatch latency into the RTT (the inaccuracy Table 2 shows for
-// MobiPerf-style measurement).
-func (e *Engine) socketConnectEventDriven(cl *relay.TCPClient) {
-	ch := cl.Ch
-	if ch == nil {
-		ch = e.prov.Open()
-		cl.Ch = ch
-	}
-	if e.cfg.Protect == ProtectPerSocket {
-		ch.Protect()
-	}
-	cl.Key = e.sel.Register(ch, sockets.OpRead|sockets.OpConnect, cl)
-	connStart := e.clk.Nanos()
-	cl.Key.Attachment = &eventConnect{client: cl, start: connStart}
-	if err := ch.ConnectNonBlocking(cl.Flow.Dst); err != nil {
-		cl.SM.Refuse()
-		e.connectFailed(cl)
-	}
-}
-
-// eventConnect carries the non-blocking connect context on the key.
-type eventConnect struct {
-	client *relay.TCPClient
-	start  int64
-}
-
-func (e *Engine) connectFailed(cl *relay.TCPClient) {
-	e.mu.Lock()
-	e.stats.ConnectFailures++
-	e.mu.Unlock()
-	e.removeClient(cl)
-	if cl.Ch != nil {
-		cl.Ch.Close()
-	}
-}
-
-func (e *Engine) removeClient(cl *relay.TCPClient) {
-	if !cl.MarkRemoved() {
-		return
-	}
-	// Fold the connection's volume into the per-app accounting; the
-	// attribution is final by now (mapping runs before any teardown
-	// path a healthy connection takes).
-	st := cl.SM.Stats()
-	e.traffic.volume(cl.App, st.BytesFromApp, st.BytesToApp)
-	e.mu.Lock()
-	delete(e.clients, cl.Flow)
-	e.mu.Unlock()
-}
-
-// recordTCP stores one per-app RTT measurement.
-func (e *Engine) recordTCP(cl *relay.TCPClient, rtt time.Duration) {
-	e.mu.Lock()
-	e.stats.TCPMeasurements++
-	e.mu.Unlock()
-	e.traffic.connection(cl.App)
-	e.store.Add(measure.Record{
-		Kind:    measure.KindTCP,
-		App:     cl.App,
-		UID:     cl.UID,
-		Dst:     cl.Flow.Dst,
-		RTT:     rtt,
-		At:      e.clk.Now(),
-		NetType: e.cfg.NetType,
-		ISP:     e.cfg.ISP,
-		Country: e.cfg.Country,
-	})
-}
-
-// handleSocketKey processes §2.3's socket events.
-func (e *Engine) handleSocketKey(k *sockets.SelectionKey) {
-	ready := k.ReadyOps()
-	if ready == 0 {
-		return
-	}
-	var cl *relay.TCPClient
-	switch a := k.Attachment.(type) {
-	case *relay.TCPClient:
-		cl = a
-	case *eventConnect:
-		cl = a.client
-		if ready&sockets.OpConnect != 0 {
-			e.finishEventConnect(k, a)
-			ready &^= sockets.OpConnect
-		}
-	default:
-		return
-	}
-	if cl == nil || cl.Removed() {
-		return
-	}
-	if ready&sockets.OpRead != 0 {
-		e.socketRead(cl)
-	}
-	if ready&sockets.OpWrite != 0 {
-		e.socketWrite(cl)
-	}
-}
-
-// finishEventConnect completes a non-blocking connect observed via the
-// selector.
-func (e *Engine) finishEventConnect(k *sockets.SelectionKey, ec *eventConnect) {
-	cl := ec.client
-	ch := cl.Ch
-	now := e.clk.Nanos()
-	if err := ch.FinishConnect(); err != nil {
-		if errors.Is(err, sockets.ErrConnPending) {
-			return
-		}
-		cl.SM.Refuse()
-		e.connectFailed(cl)
-		return
-	}
-	if err := cl.SM.CompleteHandshake(); err != nil {
-		e.removeClient(cl)
-		ch.Close()
-		return
-	}
-	e.mu.Lock()
-	e.stats.Established++
-	e.mu.Unlock()
-	k.Attachment = cl
-	k.SetInterestOps(sockets.OpRead)
-	if cl.PendingWrites() || cl.HalfCloseRequested() {
-		k.SetInterestOps(sockets.OpRead | sockets.OpWrite)
-	}
-	if e.cfg.Mapping != MapEager {
-		info, _ := e.mapper.resolve(cl.Flow.Src, cl.Flow.Dst, cl.SYNAt)
-		cl.UID, cl.App = info.UID, info.Name
-	}
-	// The RTT includes selector dispatch latency — the inaccuracy the
-	// blocking socket-connect thread eliminates.
-	e.recordTCP(cl, time.Duration(now-ec.start))
-}
-
-// socketRead handles §2.3 Socket Read: drain incoming server data into
-// internal-connection data packets; on EOF generate FIN; on reset
-// generate RST.
-func (e *Engine) socketRead(cl *relay.TCPClient) {
-	buf := make([]byte, 16*1024)
-	for {
-		n, err := cl.Ch.Read(buf)
-		if n > 0 {
-			e.mu.Lock()
-			e.stats.BytesDown += int64(n)
-			e.mu.Unlock()
-			e.meter.AddPackets(int64((n+e.cfg.MSS-1)/e.cfg.MSS), int64(n))
-			if e.cfg.InspectPackets {
-				e.meter.AddInspected(int64((n + e.cfg.MSS - 1) / e.cfg.MSS))
-			}
-			if serr := cl.SM.SendData(buf[:n]); serr != nil {
-				return
-			}
-			continue
-		}
-		switch {
-		case err == nil:
-			return // would block; wait for the next read event
-		case errors.Is(err, sockets.ErrEOF):
-			_ = cl.SM.SendFIN()
-			e.maybeFinish(cl)
-			return
-		default:
-			cl.SM.SendRST()
-			e.removeClient(cl)
-			cl.Ch.Close()
-			return
-		}
-	}
-}
-
-// socketWrite handles §2.3 Socket Write: flush the write buffer to the
-// server, then instruct the state machine to ACK the app; on a pending
-// half close, half-close the external connection and clear write
-// interest.
-func (e *Engine) socketWrite(cl *relay.TCPClient) {
-	bufs := cl.TakeWrites()
-	wrote := false
-	for _, b := range bufs {
-		if _, err := cl.Ch.Write(b); err != nil {
-			cl.SM.SendRST()
-			e.removeClient(cl)
-			cl.Ch.Close()
-			return
-		}
-		wrote = true
-	}
-	if wrote {
-		_ = cl.SM.AckApp()
-	}
-	if cl.HalfCloseRequested() && !cl.PendingWrites() {
-		_ = cl.Ch.CloseWrite()
-		e.maybeFinish(cl)
-	}
-	if cl.Key != nil {
-		cl.Key.SetInterestOps(sockets.OpRead)
-	}
-}
-
-// maybeFinish removes clients whose both directions have finished.
-func (e *Engine) maybeFinish(cl *relay.TCPClient) {
-	if cl.SM.State() == tcpsm.StateClosed {
-		e.removeClient(cl)
-		cl.Ch.Close()
-	}
-}
 
 // timeDuration converts clock-nano deltas.
 func timeDuration(nanos int64) time.Duration { return time.Duration(nanos) }

@@ -1,0 +1,87 @@
+package engine
+
+// Engine lifecycle: thread startup and teardown.
+
+// Start launches the engine threads: TunReader, the packet-processing
+// core (one MainWorker, or a dispatcher plus N pinned workers when
+// Config.Workers > 1), and (for queueWrite schemes) TunWriter. It also
+// performs the one-time addDisallowedApplication when configured
+// (§3.5.2: "the call is best invoked during the initialization of
+// MopEye").
+func (e *Engine) Start() {
+	e.mu.Lock()
+	if e.running {
+		e.mu.Unlock()
+		return
+	}
+	e.running = true
+	e.started = e.clk.Now()
+	e.mu.Unlock()
+
+	if e.cfg.Protect == ProtectDisallowed {
+		e.prov.AddDisallowedApplication()
+	}
+	e.dev.SetBlocking(e.cfg.ReadMode == ReadBlocking)
+
+	e.wg.Add(1)
+	go e.tunReader()
+	// The Haystack-style polled main loop is inherently single-threaded;
+	// the sharded pipeline only replaces the event-driven loop.
+	if e.cfg.Workers > 1 && e.cfg.MainLoopPoll <= 0 {
+		e.workers = make([]*worker, e.cfg.Workers)
+		for i := range e.workers {
+			e.workers[i] = &worker{id: i, q: newWorkQueue()}
+		}
+		for _, w := range e.workers {
+			e.wg.Add(1)
+			go e.workerLoop(w)
+		}
+		e.wg.Add(1)
+		go e.dispatcher()
+	} else {
+		e.wg.Add(1)
+		go e.mainWorker()
+	}
+	if e.writeQ != nil {
+		e.wg.Add(1)
+		go e.tunWriter()
+	}
+}
+
+// Stop shuts the engine down. A dummy packet releases the blocked
+// tunnel read (§3.1), the selector is closed to release the processing
+// core, worker queues drain, and all external sockets are closed.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	if !e.running {
+		e.mu.Unlock()
+		return
+	}
+	e.running = false
+	close(e.stopped)
+	e.mu.Unlock()
+
+	// Release a TunReader blocked in read() by injecting a dummy packet
+	// — MopEye's own trick (self-sent below 5.0, DownloadManager-
+	// triggered on 5.0+; the bytes are identical from the reader's
+	// perspective).
+	_ = e.dev.InjectOutbound([]byte{0})
+	e.sel.Wakeup()
+	if e.writeQ != nil {
+		e.writeQ.close()
+	}
+	e.wg.Wait()
+	e.sel.Close()
+
+	for _, c := range e.flows.Drain() {
+		if c.Ch != nil {
+			c.Ch.Close()
+		}
+	}
+}
+
+func (e *Engine) isRunning() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.running
+}

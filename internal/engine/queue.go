@@ -36,6 +36,14 @@ func notifyHandoff(r *rand.Rand) time.Duration {
 	}
 }
 
+// outPacket is one queued tunnel write: the encoded bytes plus the
+// pool token of the buffer backing them, recycled by TunWriter after
+// the tunnel write copies the bytes out.
+type outPacket struct {
+	raw []byte
+	buf *[]byte
+}
+
 // packetQueue is the TunWriter's input queue with both put algorithms.
 type packetQueue struct {
 	clk      clock.Clock
@@ -45,7 +53,7 @@ type packetQueue struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	items   [][]byte
+	items   []outPacket
 	waiting bool // the TunWriter is parked in wait()
 	closed  bool
 	rng     *rand.Rand
@@ -70,15 +78,20 @@ func newPacketQueue(clk clock.Clock, newPut bool, spinMax int, seed int64) *pack
 
 // put enqueues one packet, charging the notify handoff when the writer
 // thread must be woken from wait(). The enqueue duration is recorded in
-// the put histogram (the oldPut/newPut columns of Table 1).
-func (q *packetQueue) put(raw []byte) {
+// the put histogram (the oldPut/newPut columns of Table 1). buf is the
+// pool token for raw's backing buffer (may be nil); ownership moves to
+// the queue and then to TunWriter.
+func (q *packetQueue) put(raw []byte, buf *[]byte) {
 	start := q.clk.Nanos()
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
+		if buf != nil {
+			encodeBufPool.Put(buf)
+		}
 		return
 	}
-	q.items = append(q.items, raw)
+	q.items = append(q.items, outPacket{raw: raw, buf: buf})
 	mustWake := q.waiting
 	if mustWake {
 		q.cond.Signal()
@@ -99,7 +112,7 @@ func (q *packetQueue) put(raw []byte) {
 
 // take dequeues the next packet for TunWriter, blocking according to the
 // configured algorithm. ok is false when the queue is closed and empty.
-func (q *packetQueue) take() (raw []byte, ok bool) {
+func (q *packetQueue) take() (raw []byte, buf *[]byte, ok bool) {
 	if q.newPut {
 		return q.takeNewPut()
 	}
@@ -107,20 +120,20 @@ func (q *packetQueue) take() (raw []byte, ok bool) {
 }
 
 // takeOldPut is the traditional scheme: park in wait() whenever empty.
-func (q *packetQueue) takeOldPut() ([]byte, bool) {
+func (q *packetQueue) takeOldPut() ([]byte, *[]byte, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.items) == 0 {
 		if q.closed {
-			return nil, false
+			return nil, nil, false
 		}
 		q.waiting = true
 		q.cond.Wait()
 		q.waiting = false
 	}
-	raw := q.items[0]
+	out := q.items[0]
 	q.items = q.items[1:]
-	return raw, true
+	return out.raw, out.buf, true
 }
 
 // takeNewPut implements §3.5.1's sleep counter: keep checking (with a
@@ -128,20 +141,20 @@ func (q *packetQueue) takeOldPut() ([]byte, bool) {
 // decrement (halve) the counter whenever the queue is found non-empty;
 // only park in wait() when the counter reaches the threshold. The
 // counter resets on wakeup.
-func (q *packetQueue) takeNewPut() ([]byte, bool) {
+func (q *packetQueue) takeNewPut() ([]byte, *[]byte, bool) {
 	counter := 0
 	for {
 		q.mu.Lock()
 		if len(q.items) > 0 {
-			raw := q.items[0]
+			out := q.items[0]
 			q.items = q.items[1:]
 			q.mu.Unlock()
 			counter /= 2
-			return raw, true
+			return out.raw, out.buf, true
 		}
 		if q.closed {
 			q.mu.Unlock()
-			return nil, false
+			return nil, nil, false
 		}
 		if counter >= q.spinMax {
 			q.waiting = true
@@ -193,4 +206,55 @@ func (q *readQueue) pop() ([]byte, bool) {
 	raw := q.items[0]
 	q.items = q.items[1:]
 	return raw, true
+}
+
+// workQueue is one pinned worker's input FIFO in the sharded pipeline:
+// the dispatcher pushes decoded packets and claimed socket events for
+// the shards this worker owns, and the worker drains them in order —
+// which is exactly what preserves per-flow packet ordering. Unbounded
+// so the dispatcher never blocks behind a slow worker (backpressure
+// already exists upstream in the TUN queue).
+type workQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []workItem
+	closed bool
+}
+
+func newWorkQueue() *workQueue {
+	q := &workQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *workQueue) push(it workItem) {
+	q.mu.Lock()
+	if !q.closed {
+		q.items = append(q.items, it)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+// take blocks until an item is available or the queue is closed and
+// fully drained.
+func (q *workQueue) take() (workItem, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 {
+		if q.closed {
+			return workItem{}, false
+		}
+		q.cond.Wait()
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	return it, true
+}
+
+func (q *workQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
 }

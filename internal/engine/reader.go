@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/tun"
+)
+
+// adaptiveBurstPolls is how many empty polls after activity keep the
+// short poll interval before the reader backs off to the configured
+// sleep — ToyVpn's "intelligent sleeping" burst window.
+const adaptiveBurstPolls = 8
+
+// adaptiveShortPoll is the burst-phase poll interval.
+const adaptiveShortPoll = time.Millisecond
+
+// pollPolicy implements the ReadPollAdaptive sleep schedule (§3.1):
+// while packets are arriving, empty polls sleep only the short
+// interval so a burst is drained with low latency; once the burst
+// budget is spent without a successful read, the poller backs off to
+// the long interval to stop burning wakeups on an idle tunnel. Any
+// successful read refills the budget.
+type pollPolicy struct {
+	short    time.Duration
+	long     time.Duration
+	burstMax int
+	burst    int
+}
+
+func newPollPolicy(short, long time.Duration, burstMax int) *pollPolicy {
+	return &pollPolicy{short: short, long: long, burstMax: burstMax}
+}
+
+// onSuccess records a successful read: the tunnel is active, so refill
+// the burst budget.
+func (p *pollPolicy) onSuccess() { p.burst = p.burstMax }
+
+// onEmpty records an empty poll and returns how long to sleep before
+// the next one.
+func (p *pollPolicy) onEmpty() time.Duration {
+	if p.burst > 0 {
+		p.burst--
+		return p.short
+	}
+	return p.long
+}
+
+// tunReader is the dedicated tunnel read thread (§3.1). In blocking
+// mode each read parks until a packet arrives: zero retrieval delay and
+// zero empty wakeups. In poll modes it mirrors ToyVpn: non-blocking
+// reads with sleeps between failures, and in adaptive mode the
+// burst-then-back-off schedule of pollPolicy.
+func (e *Engine) tunReader() {
+	defer e.wg.Done()
+	sleeping := e.cfg.PollInterval
+	if sleeping <= 0 {
+		sleeping = 100 * time.Millisecond
+	}
+	policy := newPollPolicy(adaptiveShortPoll, sleeping, adaptiveBurstPolls)
+	for e.isRunning() {
+		raw, err := e.dev.Read()
+		switch {
+		case err == nil:
+			// A successful read loops again immediately: bursts are
+			// drained without sleeping at all.
+			policy.onSuccess()
+			e.readQ.push(raw)
+			e.sel.Wakeup()
+		case errors.Is(err, tun.ErrWouldBlock):
+			e.meter.AddWakeups(1)
+			switch e.cfg.ReadMode {
+			case ReadPollAdaptive:
+				e.clk.Sleep(policy.onEmpty())
+			default:
+				e.clk.Sleep(sleeping)
+			}
+		case errors.Is(err, tun.ErrClosed):
+			return
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+// The adaptive read mode's sleep schedule, unit-tested directly: the
+// seed shipped with `_ = consecutive` — the burst counter was tracked
+// and discarded, so ReadPollAdaptive behaved identically to a fixed
+// 1 ms poll. These tests pin the documented burst-then-back-off
+// behaviour.
+
+func TestPollPolicyBacksOffWhenIdle(t *testing.T) {
+	p := newPollPolicy(time.Millisecond, 100*time.Millisecond, 3)
+	// Never any traffic: no burst budget, every empty poll sleeps the
+	// long interval immediately.
+	for i := 0; i < 5; i++ {
+		if d := p.onEmpty(); d != 100*time.Millisecond {
+			t.Fatalf("idle poll %d slept %v, want the long interval", i, d)
+		}
+	}
+}
+
+func TestPollPolicyBurstsAfterActivity(t *testing.T) {
+	p := newPollPolicy(time.Millisecond, 100*time.Millisecond, 3)
+	p.onSuccess()
+	// The next burstMax empty polls stay on the short interval...
+	for i := 0; i < 3; i++ {
+		if d := p.onEmpty(); d != time.Millisecond {
+			t.Fatalf("burst poll %d slept %v, want the short interval", i, d)
+		}
+	}
+	// ...then the poller backs off.
+	if d := p.onEmpty(); d != 100*time.Millisecond {
+		t.Fatalf("post-burst poll slept %v, want the long interval", d)
+	}
+}
+
+func TestPollPolicySuccessRefillsBurst(t *testing.T) {
+	p := newPollPolicy(time.Millisecond, 100*time.Millisecond, 2)
+	p.onSuccess()
+	if d := p.onEmpty(); d != time.Millisecond {
+		t.Fatalf("first empty poll slept %v", d)
+	}
+	// Activity mid-burst refills the budget in full.
+	p.onSuccess()
+	for i := 0; i < 2; i++ {
+		if d := p.onEmpty(); d != time.Millisecond {
+			t.Fatalf("refilled burst poll %d slept %v", i, d)
+		}
+	}
+	if d := p.onEmpty(); d != 100*time.Millisecond {
+		t.Fatalf("exhausted burst slept %v, want the long interval", d)
+	}
+}

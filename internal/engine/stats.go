@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// Stats aggregates engine activity.
+type Stats struct {
+	SYNs            int
+	Established     int
+	ConnectFailures int
+	TCPMeasurements int
+	DNSMeasurements int
+	PacketsFromTun  int
+	PacketsToTun    int
+	BytesUp         int64
+	BytesDown       int64
+	PureACKs        int
+	UDPRelayed      int
+	DecodeErrors    int
+
+	// WriteHist is the tunnel-write delay as observed by the writing
+	// thread; PutHist is the enqueue delay (Table 1).
+	WriteHist stats.DelayHistogram
+	PutHist   stats.DelayHistogram
+
+	Mapping MappingStats
+}
+
+// counters holds the hot engine counters as atomics. The paper's engine
+// could guard these with the one engine mutex because one MainWorker
+// produced nearly all of them; with N workers (and the UDP/connect
+// threads) updating concurrently, atomics keep the hot path free of a
+// global lock and let Stats() snapshot without stalling the relay.
+type counters struct {
+	syns            atomic.Int64
+	established     atomic.Int64
+	connectFailures atomic.Int64
+	tcpMeasurements atomic.Int64
+	dnsMeasurements atomic.Int64
+	packetsFromTun  atomic.Int64
+	packetsToTun    atomic.Int64
+	bytesUp         atomic.Int64
+	bytesDown       atomic.Int64
+	pureACKs        atomic.Int64
+	udpRelayed      atomic.Int64
+	decodeErrors    atomic.Int64
+}
+
+// Stats snapshots the engine counters, folding in mapper and queue
+// state. The counters are independent atomics, so the snapshot is not
+// a single point in time; loading effects before their causes
+// (measurements before established before SYNs) keeps the visible
+// invariants — Established ≤ SYNs, TCPMeasurements ≤ Established —
+// intact even while connections race the snapshot.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		TCPMeasurements: int(e.ctr.tcpMeasurements.Load()),
+		ConnectFailures: int(e.ctr.connectFailures.Load()),
+		Established:     int(e.ctr.established.Load()),
+		SYNs:            int(e.ctr.syns.Load()),
+		DNSMeasurements: int(e.ctr.dnsMeasurements.Load()),
+		PacketsFromTun:  int(e.ctr.packetsFromTun.Load()),
+		PacketsToTun:    int(e.ctr.packetsToTun.Load()),
+		BytesUp:         e.ctr.bytesUp.Load(),
+		BytesDown:       e.ctr.bytesDown.Load(),
+		PureACKs:        int(e.ctr.pureACKs.Load()),
+		UDPRelayed:      int(e.ctr.udpRelayed.Load()),
+		DecodeErrors:    int(e.ctr.decodeErrors.Load()),
+	}
+	e.histMu.Lock()
+	s.WriteHist = e.writeHist
+	e.histMu.Unlock()
+	s.Mapping = e.mapper.stats()
+	if e.writeQ != nil {
+		s.PutHist = e.writeQ.putHistogram()
+	}
+	return s
+}
+
+// ActiveClients reports the number of live spliced connections.
+func (e *Engine) ActiveClients() int {
+	return e.flows.Len()
+}
+
+// Workers reports how many packet-processing workers the engine runs
+// (1 for the paper-faithful MainWorker loop).
+func (e *Engine) Workers() int {
+	return e.cfg.Workers
+}

@@ -3,6 +3,9 @@ package engine
 import (
 	"sort"
 	"sync"
+
+	"repro/internal/packet"
+	"repro/internal/relay"
 )
 
 // This file is an extension beyond the paper's shipped feature set, in
@@ -83,24 +86,16 @@ func (t *trafficBook) snapshot() []AppTraffic {
 }
 
 // AppTraffic returns the per-app relayed-volume accounting, largest
-// first. Live connections are folded in from their state machines, so
-// the report is current even mid-transfer.
+// first. Live connections are folded in from their state machines via
+// the sharded flow table (one shard locked at a time, so a snapshot
+// never stalls the relay), so the report is current even mid-transfer.
 func (e *Engine) AppTraffic() []AppTraffic {
-	e.mu.Lock()
-	type liveVol struct {
-		app      string
-		up, down int64
-	}
-	live := make([]liveVol, 0, len(e.clients))
-	for _, cl := range e.clients {
-		st := cl.SM.Stats()
-		live = append(live, liveVol{cl.App, st.BytesFromApp, st.BytesToApp})
-	}
-	e.mu.Unlock()
 	merged := newTrafficBook()
-	for _, v := range live {
-		merged.volume(v.app, v.up, v.down)
-	}
+	e.flows.ForEach(func(_ packet.FlowKey, cl *relay.TCPClient) {
+		st := cl.SM.Stats()
+		_, app := cl.AppInfo()
+		merged.volume(app, st.BytesFromApp, st.BytesToApp)
+	})
 	base := e.traffic.snapshot()
 	for _, b := range base {
 		merged.mu.Lock()

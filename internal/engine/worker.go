@@ -1,0 +1,210 @@
+package engine
+
+import (
+	"repro/internal/packet"
+	"repro/internal/relay"
+	"repro/internal/sockets"
+)
+
+// The packet-processing core. Two shapes share the same per-event
+// handlers (tcp.go, dns.go):
+//
+//   - Workers == 1: the paper's Figure-4 MainWorker — one thread, one
+//     selector wait point covering socket events and the tunnel read
+//     queue (§3.2). This is the fidelity-preserving default; the
+//     ablation results are produced on this path.
+//
+//   - Workers > 1: a sharded pipeline. The dispatcher runs the selector
+//     loop, but instead of handling events it routes each one to the
+//     worker that owns the flow's shard (flowtable.Shard % Workers).
+//     All events of a flow — tunnel packets and socket readiness alike
+//     — serialise through that worker's FIFO queue, so per-flow packet
+//     ordering is preserved while distinct flows proceed in parallel.
+
+// worker is one pinned packet-processing thread.
+type worker struct {
+	id int
+	q  *workQueue
+}
+
+// workItem is one unit routed to a worker: either a decoded tunnel
+// packet or a socket readiness event (ready claimed by the dispatcher,
+// since ReadyOps() is consume-once).
+type workItem struct {
+	pkt    *packet.Packet
+	rawLen int
+	key    *sockets.SelectionKey
+	ready  sockets.Ops
+}
+
+// workerFor maps a shard index to its owning worker.
+func (e *Engine) workerFor(shard int) *worker {
+	return e.workers[shard%len(e.workers)]
+}
+
+// workerLoop drains one worker's queue until the dispatcher closes it.
+func (e *Engine) workerLoop(w *worker) {
+	defer e.wg.Done()
+	for {
+		it, ok := w.q.take()
+		if !ok {
+			return
+		}
+		switch {
+		case it.pkt != nil:
+			e.processPacket(it.pkt, it.rawLen)
+		case it.key != nil:
+			e.handleSocketOps(it.key, it.ready)
+		}
+	}
+}
+
+// dispatcher is the multi-worker selector loop: the same interleaved
+// Select/drain structure as mainWorker, but each event is routed to its
+// flow's pinned worker instead of being handled inline.
+func (e *Engine) dispatcher() {
+	defer e.wg.Done()
+	// Closing the queues releases the workers once they have drained.
+	defer func() {
+		for _, w := range e.workers {
+			w.q.close()
+		}
+	}()
+	for e.isRunning() {
+		keys := e.sel.Select()
+		for {
+			progress := false
+			for _, k := range keys {
+				if e.routeKey(k) {
+					progress = true
+				}
+			}
+			keys = keys[:0]
+			for i := 0; i < 64; i++ {
+				raw, ok := e.readQ.pop()
+				if !ok {
+					break
+				}
+				e.routePacket(raw)
+				progress = true
+			}
+			if !progress {
+				break
+			}
+			if !e.isRunning() {
+				return
+			}
+			keys = e.sel.SelectTimeout(0)
+		}
+	}
+}
+
+// routeKey claims a key's readiness and hands it to the owning worker.
+// The dispatcher must consume ReadyOps here: readiness left on the key
+// would make the next zero-timeout Select return the same key again and
+// spin the dispatcher while the worker catches up.
+func (e *Engine) routeKey(k *sockets.SelectionKey) bool {
+	ready := k.ReadyOps()
+	if ready == 0 {
+		return false
+	}
+	var cl *relay.TCPClient
+	switch a := k.Attachment().(type) {
+	case *relay.TCPClient:
+		cl = a
+	case *eventConnect:
+		cl = a.client
+	default:
+		return false
+	}
+	if cl == nil {
+		return false
+	}
+	e.workerFor(cl.Shard).q.push(workItem{key: k, ready: ready})
+	return true
+}
+
+// routePacket decodes one tunnel packet and hands it to the worker
+// pinned to its flow. Decoding on the dispatcher is what makes routing
+// possible (the flow key lives in the headers); the per-packet relay
+// work still happens on the worker.
+func (e *Engine) routePacket(raw []byte) {
+	pkt, err := packet.Decode(raw)
+	if err != nil {
+		e.ctr.decodeErrors.Add(1)
+		return
+	}
+	shard := e.flows.Shard(packet.Flow(pkt))
+	e.workerFor(shard).q.push(workItem{pkt: pkt, rawLen: len(raw)})
+}
+
+// mainWorker is the single packet-processing thread (Figure 4): one
+// selector wait point covers socket events and the tunnel read queue
+// (§3.2), and the two event sources are checked in an interleaved loop.
+func (e *Engine) mainWorker() {
+	defer e.wg.Done()
+	if e.cfg.MainLoopPoll > 0 {
+		e.mainWorkerPolled()
+		return
+	}
+	for e.isRunning() {
+		keys := e.sel.Select()
+		for {
+			progress := false
+			for _, k := range keys {
+				e.handleSocketKey(k)
+				progress = true
+			}
+			keys = keys[:0]
+			// Interleave: after a batch of socket events, drain a batch
+			// of tunnel packets, then re-poll without blocking.
+			for i := 0; i < 64; i++ {
+				raw, ok := e.readQ.pop()
+				if !ok {
+					break
+				}
+				e.handleTunnelPacket(raw)
+				progress = true
+			}
+			if !progress {
+				break
+			}
+			if !e.isRunning() {
+				return
+			}
+			keys = e.sel.SelectTimeout(0)
+		}
+	}
+}
+
+// mainWorkerPolled is the poll-based main loop of the Haystack-style
+// baseline: a fixed sleep, then a drain of both event sources. Events
+// arriving just after a drain wait out the entire next sleep, which
+// batches the relay in poll-interval cycles.
+func (e *Engine) mainWorkerPolled() {
+	for e.isRunning() {
+		e.clk.Sleep(e.cfg.MainLoopPoll)
+		e.meter.AddWakeups(1)
+		for {
+			progress := false
+			for _, k := range e.sel.SelectTimeout(0) {
+				e.handleSocketKey(k)
+				progress = true
+			}
+			for {
+				raw, ok := e.readQ.pop()
+				if !ok {
+					break
+				}
+				e.handleTunnelPacket(raw)
+				progress = true
+			}
+			if !progress {
+				break
+			}
+			if !e.isRunning() {
+				return
+			}
+		}
+	}
+}

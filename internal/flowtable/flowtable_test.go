@@ -1,0 +1,167 @@
+package flowtable
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"repro/internal/packet"
+)
+
+func key(i int) packet.FlowKey {
+	return packet.FlowKey{
+		Proto: packet.ProtoTCP,
+		Src:   netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)}), uint16(1024+i)),
+		Dst:   netip.AddrPortFrom(netip.AddrFrom4([4]byte{93, 184, 216, 34}), 443),
+	}
+}
+
+func TestNewRoundsToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultShards}, {-5, DefaultShards}, {1, 1}, {2, 2}, {3, 4}, {16, 16}, {17, 32},
+	} {
+		if got := New[int](tc.in).Shards(); got != tc.want {
+			t.Errorf("New(%d).Shards() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	tb := New[string](8)
+	k := key(1)
+	if _, ok := tb.Get(k); ok {
+		t.Fatal("empty table returned a value")
+	}
+	tb.Put(k, "a")
+	if v, ok := tb.Get(k); !ok || v != "a" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if got, stored := tb.PutIfAbsent(k, "b"); stored || got != "a" {
+		t.Fatalf("PutIfAbsent on present key: %q, %v", got, stored)
+	}
+	if !tb.Delete(k) {
+		t.Fatal("Delete missed a present key")
+	}
+	if tb.Delete(k) {
+		t.Fatal("Delete reported a removed key as present")
+	}
+	if got, stored := tb.PutIfAbsent(k, "b"); !stored || got != "b" {
+		t.Fatalf("PutIfAbsent on absent key: %q, %v", got, stored)
+	}
+}
+
+func TestHashIsStableAndShardInRange(t *testing.T) {
+	tb := New[int](16)
+	for i := 0; i < 200; i++ {
+		k := key(i)
+		if Hash(k) != Hash(k) {
+			t.Fatal("hash not stable")
+		}
+		s := tb.Shard(k)
+		if s < 0 || s >= tb.Shards() {
+			t.Fatalf("shard %d out of range", s)
+		}
+		if s != tb.Shard(k) {
+			t.Fatal("shard not stable")
+		}
+	}
+}
+
+func TestShardsSpreadFlows(t *testing.T) {
+	tb := New[int](16)
+	counts := make([]int, tb.Shards())
+	const n = 4096
+	for i := 0; i < n; i++ {
+		counts[tb.Shard(key(i))]++
+	}
+	for s, c := range counts {
+		// Perfectly even would be n/16 = 256; allow a wide band, we
+		// only care that no shard is starved or hot.
+		if c < n/64 || c > n/4 {
+			t.Errorf("shard %d holds %d of %d flows", s, c, n)
+		}
+	}
+}
+
+func TestLenForEachDrain(t *testing.T) {
+	tb := New[int](4)
+	const n = 100
+	for i := 0; i < n; i++ {
+		tb.Put(key(i), i)
+	}
+	if tb.Len() != n {
+		t.Fatalf("Len = %d, want %d", tb.Len(), n)
+	}
+	seen := map[int]bool{}
+	tb.ForEach(func(_ packet.FlowKey, v int) { seen[v] = true })
+	if len(seen) != n {
+		t.Fatalf("ForEach visited %d, want %d", len(seen), n)
+	}
+	vals := tb.Drain()
+	if len(vals) != n || tb.Len() != 0 {
+		t.Fatalf("Drain returned %d, Len now %d", len(vals), tb.Len())
+	}
+}
+
+func TestForEachMayMutate(t *testing.T) {
+	tb := New[int](4)
+	for i := 0; i < 20; i++ {
+		tb.Put(key(i), i)
+	}
+	// fn runs outside the shard lock, so deleting from inside must not
+	// deadlock.
+	tb.ForEach(func(k packet.FlowKey, _ int) { tb.Delete(k) })
+	if tb.Len() != 0 {
+		t.Fatalf("Len = %d after self-delete", tb.Len())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	tb := New[int](8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := key(g*500 + i)
+				tb.Put(k, i)
+				tb.Get(k)
+				if i%3 == 0 {
+					tb.Delete(k)
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 200; i++ {
+			tb.Len()
+			tb.ForEach(func(packet.FlowKey, int) {})
+		}
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+}
+
+func BenchmarkShardedVsSingleLock(b *testing.B) {
+	for _, shards := range []int{1, 32} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			tb := New[int](shards)
+			keys := make([]packet.FlowKey, 256)
+			for i := range keys {
+				keys[i] = key(i)
+				tb.Put(keys[i], i)
+			}
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					tb.Get(keys[i%len(keys)])
+					i++
+				}
+			})
+		})
+	}
+}

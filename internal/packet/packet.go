@@ -308,25 +308,49 @@ func decodeTransport(p *Packet, proto uint8, seg []byte) (*Packet, error) {
 // Encode serialises the packet to raw bytes with correct lengths and
 // checksums. The inverse of Decode.
 func (p *Packet) Encode() ([]byte, error) {
+	return p.AppendEncode(nil)
+}
+
+// AppendEncode serialises the packet onto dst and returns the extended
+// slice. When dst has enough spare capacity (an MTU-sized buffer from a
+// sync.Pool, as the engine's emit path uses), encoding performs no
+// allocation at all — the transport segment is written directly into
+// its final position instead of being built separately and copied.
+func (p *Packet) AppendEncode(dst []byte) ([]byte, error) {
 	switch {
 	case p.IPv4 != nil:
-		return p.encodeIPv4()
+		return p.appendIPv4(dst)
 	case p.IPv6 != nil:
-		return p.encodeIPv6()
+		return p.appendIPv6(dst)
 	default:
-		return nil, ErrBadHeader
+		return dst, ErrBadHeader
 	}
 }
 
-func (p *Packet) transportBytes(src, dst netip.Addr) ([]byte, uint8, error) {
+// transportSize returns the encoded transport-segment length and the IP
+// protocol number (0 for a raw payload).
+func (p *Packet) transportSize() (int, uint8, error) {
+	switch {
+	case p.TCP != nil:
+		if len(p.TCP.Options)%4 != 0 {
+			return 0, 0, fmt.Errorf("%w: TCP options length %d not a multiple of 4", ErrBadHeader, len(p.TCP.Options))
+		}
+		return 20 + len(p.TCP.Options) + len(p.Payload), ProtoTCP, nil
+	case p.UDP != nil:
+		return 8 + len(p.Payload), ProtoUDP, nil
+	default:
+		return len(p.Payload), 0, nil
+	}
+}
+
+// fillTransport encodes the transport segment into seg, which has
+// exactly the length transportSize reported. seg may contain stale
+// bytes (it can come from a recycled buffer); every byte is written.
+func (p *Packet) fillTransport(seg []byte, src, dst netip.Addr) {
 	switch {
 	case p.TCP != nil:
 		t := p.TCP
-		if len(t.Options)%4 != 0 {
-			return nil, 0, fmt.Errorf("%w: TCP options length %d not a multiple of 4", ErrBadHeader, len(t.Options))
-		}
 		hlen := 20 + len(t.Options)
-		seg := make([]byte, hlen+len(p.Payload))
 		binary.BigEndian.PutUint16(seg[0:2], t.SrcPort)
 		binary.BigEndian.PutUint16(seg[2:4], t.DstPort)
 		binary.BigEndian.PutUint32(seg[4:8], t.Seq)
@@ -334,46 +358,57 @@ func (p *Packet) transportBytes(src, dst netip.Addr) ([]byte, uint8, error) {
 		seg[12] = uint8(hlen/4) << 4
 		seg[13] = t.Flags
 		binary.BigEndian.PutUint16(seg[14:16], t.Window)
+		binary.BigEndian.PutUint16(seg[16:18], 0)
 		binary.BigEndian.PutUint16(seg[18:20], t.Urgent)
 		copy(seg[20:], t.Options)
 		copy(seg[hlen:], p.Payload)
 		csum := transportChecksum(ProtoTCP, src, dst, seg)
 		binary.BigEndian.PutUint16(seg[16:18], csum)
-		return seg, ProtoTCP, nil
 	case p.UDP != nil:
-		seg := make([]byte, 8+len(p.Payload))
 		binary.BigEndian.PutUint16(seg[0:2], p.UDP.SrcPort)
 		binary.BigEndian.PutUint16(seg[2:4], p.UDP.DstPort)
 		binary.BigEndian.PutUint16(seg[4:6], uint16(len(seg)))
+		binary.BigEndian.PutUint16(seg[6:8], 0)
 		copy(seg[8:], p.Payload)
 		csum := transportChecksum(ProtoUDP, src, dst, seg)
 		if csum == 0 {
 			csum = 0xffff // RFC 768: transmitted zero means "no checksum"
 		}
 		binary.BigEndian.PutUint16(seg[6:8], csum)
-		return seg, ProtoUDP, nil
 	default:
-		return append([]byte(nil), p.Payload...), 0, nil
+		copy(seg, p.Payload)
 	}
 }
 
-func (p *Packet) encodeIPv4() ([]byte, error) {
+// grow extends b by n bytes, reusing capacity when available.
+func grow(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b[:len(b)+n]
+	}
+	nb := make([]byte, len(b)+n)
+	copy(nb, b)
+	return nb
+}
+
+func (p *Packet) appendIPv4(dst []byte) ([]byte, error) {
 	h := p.IPv4
 	if len(h.Options)%4 != 0 {
-		return nil, fmt.Errorf("%w: IPv4 options length %d not a multiple of 4", ErrBadHeader, len(h.Options))
+		return dst, fmt.Errorf("%w: IPv4 options length %d not a multiple of 4", ErrBadHeader, len(h.Options))
 	}
 	if !h.Src.Is4() || !h.Dst.Is4() {
-		return nil, fmt.Errorf("%w: IPv4 header with non-IPv4 address", ErrBadHeader)
+		return dst, fmt.Errorf("%w: IPv4 header with non-IPv4 address", ErrBadHeader)
 	}
-	seg, proto, err := p.transportBytes(h.Src, h.Dst)
+	segLen, proto, err := p.transportSize()
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	if proto != 0 {
 		h.Protocol = proto
 	}
 	ihl := 20 + len(h.Options)
-	raw := make([]byte, ihl+len(seg))
+	base := len(dst)
+	dst = grow(dst, ihl+segLen)
+	raw := dst[base:]
 	raw[0] = 4<<4 | uint8(ihl/4)
 	raw[1] = h.TOS
 	binary.BigEndian.PutUint16(raw[2:4], uint16(len(raw)))
@@ -382,38 +417,40 @@ func (p *Packet) encodeIPv4() ([]byte, error) {
 	raw[8] = h.TTL
 	raw[9] = h.Protocol
 	src := h.Src.As4()
-	dst := h.Dst.As4()
+	dstA := h.Dst.As4()
 	copy(raw[12:16], src[:])
-	copy(raw[16:20], dst[:])
+	copy(raw[16:20], dstA[:])
 	copy(raw[20:ihl], h.Options)
 	binary.BigEndian.PutUint16(raw[10:12], headerChecksum(raw[:ihl]))
-	copy(raw[ihl:], seg)
-	return raw, nil
+	p.fillTransport(raw[ihl:], h.Src, h.Dst)
+	return dst, nil
 }
 
-func (p *Packet) encodeIPv6() ([]byte, error) {
+func (p *Packet) appendIPv6(dst []byte) ([]byte, error) {
 	h := p.IPv6
 	if !h.Src.Is6() || h.Src.Is4In6() || !h.Dst.Is6() || h.Dst.Is4In6() {
-		return nil, fmt.Errorf("%w: IPv6 header with non-IPv6 address", ErrBadHeader)
+		return dst, fmt.Errorf("%w: IPv6 header with non-IPv6 address", ErrBadHeader)
 	}
-	seg, proto, err := p.transportBytes(h.Src, h.Dst)
+	segLen, proto, err := p.transportSize()
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	if proto != 0 {
 		h.NextHeader = proto
 	}
-	raw := make([]byte, 40+len(seg))
+	base := len(dst)
+	dst = grow(dst, 40+segLen)
+	raw := dst[base:]
 	binary.BigEndian.PutUint32(raw[0:4], 6<<28|uint32(h.TrafficClass)<<20|h.FlowLabel&0x000fffff)
-	binary.BigEndian.PutUint16(raw[4:6], uint16(len(seg)))
+	binary.BigEndian.PutUint16(raw[4:6], uint16(segLen))
 	raw[6] = h.NextHeader
 	raw[7] = h.HopLimit
 	src := h.Src.As16()
-	dst := h.Dst.As16()
+	dstA := h.Dst.As16()
 	copy(raw[8:24], src[:])
-	copy(raw[24:40], dst[:])
-	copy(raw[40:], seg)
-	return raw, nil
+	copy(raw[24:40], dstA[:])
+	p.fillTransport(raw[40:], h.Src, h.Dst)
+	return dst, nil
 }
 
 // headerChecksum computes the IPv4 header checksum over hdr with the

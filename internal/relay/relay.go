@@ -27,12 +27,21 @@ type TCPClient struct {
 	Key *sockets.SelectionKey
 
 	// App attribution, filled by the packet-to-app mapping (§3.3).
-	UID int
-	App string
+	// Written by the socket-connect thread and read by the engine's
+	// teardown/record paths and traffic snapshots, so access goes
+	// through SetApp/AppInfo under the client mutex.
+	uid int
+	app string
 
 	// SYNAt is the engine clock when the SYN was processed; the lazy
 	// mapper uses it to know how fresh a proc parse must be.
 	SYNAt int64
+
+	// Shard is the flow-table shard this flow hashes to, set by the
+	// engine at creation. In the multi-worker engine it pins the flow
+	// to one worker (shard % workers), so every socket event can be
+	// routed without rehashing the flow key.
+	Shard int
 
 	mu        sync.Mutex
 	writeBuf  [][]byte
@@ -43,7 +52,24 @@ type TCPClient struct {
 
 // NewTCPClient creates a client for a flow with its state machine.
 func NewTCPClient(flow packet.FlowKey, sm *tcpsm.Machine, synAt int64) *TCPClient {
-	return &TCPClient{Flow: flow, SM: sm, SYNAt: synAt, UID: -1, App: "unknown"}
+	return &TCPClient{Flow: flow, SM: sm, SYNAt: synAt, uid: -1, app: "unknown"}
+}
+
+// SetApp records the resolved attribution (§3.3). Called from the
+// socket-connect thread once the mapping completes.
+func (c *TCPClient) SetApp(uid int, app string) {
+	c.mu.Lock()
+	c.uid = uid
+	c.app = app
+	c.mu.Unlock()
+}
+
+// AppInfo returns the current attribution ("unknown"/-1 until the
+// mapping resolves).
+func (c *TCPClient) AppInfo() (uid int, app string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.uid, c.app
 }
 
 // EnqueueWrite places tunnel data into the socket write buffer (§2.3

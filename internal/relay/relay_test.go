@@ -72,8 +72,8 @@ func TestMarkRemovedIdempotent(t *testing.T) {
 
 func TestDefaultsUnmapped(t *testing.T) {
 	c := newClient(t)
-	if c.UID != -1 || c.App != "unknown" {
-		t.Errorf("defaults: uid=%d app=%q", c.UID, c.App)
+	if uid, app := c.AppInfo(); uid != -1 || app != "unknown" {
+		t.Errorf("defaults: uid=%d app=%q", uid, app)
 	}
 	if c.SYNAt != 123 {
 		t.Errorf("SYNAt: %d", c.SYNAt)

@@ -21,19 +21,36 @@ const (
 // TCP client object so the event handler can reach the state machine
 // (§2.3 "two-way referencing").
 type SelectionKey struct {
-	sel        *Selector
-	ch         *Channel
-	Attachment interface{}
+	sel *Selector
+	ch  *Channel
 
-	mu       sync.Mutex
-	interest Ops
-	ready    Ops
-	readyAt  int64 // clock nanos when readiness was signalled
-	canceled bool
+	mu         sync.Mutex
+	attachment interface{}
+	interest   Ops
+	ready      Ops
+	readyAt    int64 // clock nanos when readiness was signalled
+	canceled   bool
 }
 
 // Channel returns the registered channel.
 func (k *SelectionKey) Channel() *Channel { return k.ch }
+
+// Attachment returns the attached object, like
+// java.nio.channels.SelectionKey.attachment(). Synchronised because the
+// multi-worker engine's dispatcher reads it while a socket-connect
+// thread may be swapping it via Attach.
+func (k *SelectionKey) Attachment() interface{} {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.attachment
+}
+
+// Attach replaces the attached object.
+func (k *SelectionKey) Attach(a interface{}) {
+	k.mu.Lock()
+	k.attachment = a
+	k.mu.Unlock()
+}
 
 // InterestOps returns the current interest set.
 func (k *SelectionKey) InterestOps() Ops {
@@ -141,7 +158,7 @@ func (s *Selector) Register(ch *Channel, ops Ops, attachment interface{}) *Selec
 	if c := drawCost(s.p.Costs.Register, s.p.rng, &s.p.mu); c > 0 {
 		s.p.Clk.SleepFine(c)
 	}
-	key := &SelectionKey{sel: s, ch: ch, Attachment: attachment, interest: ops}
+	key := &SelectionKey{sel: s, ch: ch, attachment: attachment, interest: ops}
 	s.mu.Lock()
 	s.keys[key] = struct{}{}
 	s.mu.Unlock()

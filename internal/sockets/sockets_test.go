@@ -128,8 +128,8 @@ func TestSelectorReadEvent(t *testing.T) {
 		if len(keys) != 1 || keys[0] != key {
 			t.Fatalf("keys: %v", keys)
 		}
-		if keys[0].Attachment != "att" {
-			t.Errorf("attachment: %v", keys[0].Attachment)
+		if keys[0].Attachment() != "att" {
+			t.Errorf("attachment: %v", keys[0].Attachment())
 		}
 		if keys[0].ReadyOps()&OpRead == 0 {
 			t.Error("not read-ready")

@@ -85,6 +85,11 @@ type Options struct {
 	// Engine overrides the engine configuration; nil means the paper's
 	// shipped configuration with every §3 optimisation on.
 	Engine *engine.Config
+	// Workers overrides the engine's worker count: 0 keeps whatever the
+	// engine configuration says (the paper-faithful single MainWorker by
+	// default); N > 1 runs the sharded multi-worker pipeline with each
+	// flow pinned to one worker.
+	Workers int
 	// RealisticCosts enables the Android cost models (protect/register/
 	// dispatch latency, proc parse cost, tunnel write cost). Off by
 	// default for deterministic behaviour.
@@ -115,6 +120,9 @@ func New(o Options) (*Phone, error) {
 	cfg := engine.Default()
 	if o.Engine != nil {
 		cfg = *o.Engine
+	}
+	if o.Workers > 0 {
+		cfg.Workers = o.Workers
 	}
 	opts := testbed.Options{
 		Engine:     cfg,
