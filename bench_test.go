@@ -363,6 +363,37 @@ func BenchmarkEngineParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineCeiling sweeps worker counts over a zero-delay
+// loopback network (netsim.SetLoopback): no simulated wire delay
+// anywhere, so pkts/sec is the engine's own ceiling — dispatch (the
+// PeekFlowKey fast path), flow table, relay handlers, pooled UDP —
+// rather than the path. Compare with BenchmarkEngineParallel, which
+// runs the same flood over a 1 ms simulated RTT.
+func BenchmarkEngineCeiling(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			o := mopeye.DefaultDispatchBenchOptions()
+			o.WorkerCounts = []int{w}
+			var pktsPerSec float64
+			var udpRelayed int
+			for i := 0; i < b.N; i++ {
+				res, err := mopeye.RunDispatchBench(o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				row := res.Rows[0]
+				if row.Errors > 0 {
+					b.Fatalf("flood errors: %d", row.Errors)
+				}
+				pktsPerSec = row.PacketsPerSec
+				udpRelayed = row.UDPRelayed
+			}
+			b.ReportMetric(pktsPerSec, "pkts/sec")
+			b.ReportMetric(float64(udpRelayed), "udp/run")
+		})
+	}
+}
+
 // BenchmarkAblationConnectLatency compares the app-observed connect
 // latency across engine variants — the ablation DESIGN.md calls out:
 // MopEye's defaults vs the ToyVpn-style unoptimised relay vs the

@@ -2,11 +2,13 @@
 // accuracy and relay overhead — and prints each table/figure in the
 // paper's layout. Beyond the paper, -exp parallel sweeps the engine's
 // worker counts under a multi-app packet flood (a workload the
-// single-phone paper never exercises).
+// single-phone paper never exercises), and -exp dispatch runs the same
+// sweep over a zero-delay loopback network so the result is the engine
+// ceiling rather than the simulated wire.
 //
 // Usage:
 //
-//	paperbench [-exp all|table1|table2|table3|table4|fig5|overhead|parallel] [-fast] [-workers 1,2,4]
+//	paperbench [-exp all|table1|table2|table3|table4|fig5|overhead|parallel|dispatch] [-fast] [-workers 1,2,4]
 package main
 
 import (
@@ -35,7 +37,7 @@ func parseWorkers(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig5, overhead, parallel")
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig5, overhead, parallel, dispatch")
 	fast := flag.Bool("fast", false, "smaller workloads / shorter runs")
 	workers := flag.String("workers", "1,2,4", "worker counts swept by -exp parallel")
 	flag.Parse()
@@ -122,6 +124,23 @@ func main() {
 			}
 			fmt.Println("Engine scaling — multi-app flood across worker counts:")
 			fmt.Println(res)
+		case "dispatch":
+			o := mopeye.DefaultDispatchBenchOptions()
+			sweep, err := parseWorkers(*workers)
+			if err != nil {
+				log.Fatal(err)
+			}
+			o.WorkerCounts = sweep
+			if *fast {
+				o.EchoesPerConn = 15
+				o.UDPPerConn = 5
+			}
+			res, err := mopeye.RunDispatchBench(o)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Engine ceiling — zero-delay loopback flood across worker counts:")
+			fmt.Println(res)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
@@ -130,7 +149,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"table1", "table2", "table3", "table4", "fig5", "overhead", "parallel"} {
+		for _, name := range []string{"table1", "table2", "table3", "table4", "fig5", "overhead", "parallel", "dispatch"} {
 			run(name)
 		}
 		return

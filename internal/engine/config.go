@@ -149,6 +149,17 @@ type Config struct {
 	// UDPTimeout bounds generic (non-DNS) UDP associations.
 	UDPTimeout time.Duration
 
+	// UDPPoolSize bounds the pooled UDP relay workers performing the
+	// blocking per-datagram send/receive (the §2.4 temporary-thread
+	// work, now bounded — a datagram flood reuses these workers instead
+	// of spawning one goroutine per packet). Zero selects the default
+	// of 8.
+	UDPPoolSize int
+	// UDPSessionIdle is how long a NAT-style UDP session (one external
+	// socket per app flow) survives without traffic before the idle
+	// sweeper expires it. Zero selects the default of one minute.
+	UDPSessionIdle time.Duration
+
 	// Record tagging for the crowd dataset dimensions.
 	NetType string
 	ISP     string

@@ -1,8 +1,6 @@
 package engine
 
 import (
-	"net/netip"
-
 	"repro/internal/dnsmsg"
 	"repro/internal/measure"
 	"repro/internal/packet"
@@ -18,39 +16,37 @@ func newMachine(syn *packet.Packet, iss uint32, emit func(*packet.Packet)) (*tcp
 // other UDP is relayed without measurement (§2.2: "MopEye currently
 // supports only DNS measurement (though it relays all UDP packets)").
 //
-// The whole DNS transaction — parsing, socket setup, blocking
-// send/receive — runs in a temporary thread so an application-layer
-// protocol never blocks the VpnService main thread, and the
-// post-receive timestamp is taken in blocking mode for accuracy (§2.4).
+// The paper ran each transaction in a temporary thread so an
+// application-layer protocol never blocks the VpnService main thread
+// (§2.4). The pooled relay (udprelay.go) keeps that property — this
+// call is a session lookup plus a non-blocking enqueue — while bounding
+// goroutines and sockets under flood: the blocking send/receive now
+// runs on one of UDPPoolSize pooled workers against the flow's
+// NAT-style session socket.
 func (e *Engine) handleTunnelUDP(pkt *packet.Packet) {
-	appSrc := pkt.Src()
-	dst := pkt.Dst()
-	payload := append([]byte(nil), pkt.Payload...)
-	if dst.Port() == 53 {
-		go e.dnsTransaction(appSrc, dst, payload)
-		return
-	}
-	go e.udpRelay(appSrc, dst, payload)
+	// pkt.Payload is freshly allocated by Decode, so ownership can move
+	// to the pool without a copy.
+	e.udp.relay(packet.Flow(pkt), pkt.Payload)
 }
 
 // dnsTransaction measures one DNS query/response RTT and relays the
-// response back to the app.
-func (e *Engine) dnsTransaction(appSrc, server netip.AddrPort, query []byte) {
+// response back to the app. Runs on a pooled relay worker; the
+// timestamps stay immediately around the blocking send/receive pair,
+// which is what makes the measurement accurate (§2.4).
+func (e *Engine) dnsTransaction(s *udpSession, query []byte) {
 	domain := ""
 	if q, err := dnsmsg.Decode(query); err == nil {
 		domain = q.QueryName()
 	}
-	u := e.prov.OpenUDP()
-	defer u.Close()
-	if e.cfg.Protect == ProtectPerSocket || e.cfg.Protect == ProtectPerSocketMainThread {
-		u.Protect()
-	}
 	t0 := e.clk.Nanos()
-	u.SendTo(server, query)
-	resp, err := u.Recv(e.cfg.DNSTimeout)
+	s.sock.SendTo(s.flow.Dst, query)
+	resp, err := s.sock.Recv(e.cfg.DNSTimeout)
 	t1 := e.clk.Nanos()
 	if err != nil {
-		return // the app's own resolver timeout handles retries
+		// The app's own resolver timeout handles retries; the failure is
+		// still counted so a dying resolver is visible in Stats.
+		e.ctr.dnsTimeouts.Add(1)
+		return
 	}
 	e.ctr.dnsMeasurements.Add(1)
 	e.traffic.dns("system.dns")
@@ -58,7 +54,7 @@ func (e *Engine) dnsTransaction(appSrc, server netip.AddrPort, query []byte) {
 		Kind:    measure.KindDNS,
 		App:     "system.dns",
 		UID:     0,
-		Dst:     server,
+		Dst:     s.flow.Dst,
 		Domain:  domain,
 		RTT:     timeDuration(t1 - t0),
 		At:      e.clk.Now(),
@@ -68,22 +64,23 @@ func (e *Engine) dnsTransaction(appSrc, server netip.AddrPort, query []byte) {
 	})
 	// Relay the response to the app, source-spoofed as the server the
 	// way the tunnel would present it.
-	e.emit(packet.UDPPacket(server, appSrc, resp))
+	e.emit(packet.UDPPacket(s.flow.Dst, s.flow.Src, resp))
 }
 
-// udpRelay forwards one non-DNS datagram and relays back at most one
-// response within the UDP timeout.
-func (e *Engine) udpRelay(appSrc, dst netip.AddrPort, payload []byte) {
-	u := e.prov.OpenUDP()
-	defer u.Close()
-	if e.cfg.Protect == ProtectPerSocket || e.cfg.Protect == ProtectPerSocketMainThread {
-		u.Protect()
-	}
-	u.SendTo(dst, payload)
-	resp, err := u.Recv(e.cfg.UDPTimeout)
+// udpForward relays one non-DNS datagram through the session socket and
+// relays back at most one response within the UDP timeout (late ones
+// are forwarded by the next datagram's stale drain). Sent and received
+// bytes are attributed to the owning app in the traffic book.
+func (e *Engine) udpForward(s *udpSession, payload []byte) {
+	e.ctr.udpBytesUp.Add(int64(len(payload)))
+	e.traffic.udp(s.app, int64(len(payload)), 0)
+	s.sock.SendTo(s.flow.Dst, payload)
+	resp, err := s.sock.Recv(e.cfg.UDPTimeout)
 	if err != nil {
 		return
 	}
 	e.ctr.udpRelayed.Add(1)
-	e.emit(packet.UDPPacket(dst, appSrc, resp))
+	e.ctr.udpBytesDown.Add(int64(len(resp)))
+	e.traffic.udp(s.app, 0, int64(len(resp)))
+	e.emit(packet.UDPPacket(s.flow.Dst, s.flow.Src, resp))
 }

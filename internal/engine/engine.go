@@ -48,6 +48,10 @@ type Engine struct {
 	flows   *flowtable.Table[*relay.TCPClient]
 	workers []*worker // non-nil only when the sharded pipeline runs
 
+	// udp is the pooled UDP relay: NAT-style session table plus a
+	// bounded worker pool (udprelay.go).
+	udp *udpRelay
+
 	ctr counters // hot counters, all atomic (stats.go)
 
 	histMu    sync.Mutex
@@ -86,6 +90,12 @@ func New(cfg Config, d Deps) *Engine {
 	if cfg.UDPTimeout <= 0 {
 		cfg.UDPTimeout = 2 * time.Second
 	}
+	if cfg.UDPPoolSize <= 0 {
+		cfg.UDPPoolSize = defaultUDPPoolSize
+	}
+	if cfg.UDPSessionIdle <= 0 {
+		cfg.UDPSessionIdle = defaultUDPSessionIdle
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
@@ -109,6 +119,7 @@ func New(cfg Config, d Deps) *Engine {
 		stopped: make(chan struct{}),
 	}
 	e.sel = e.prov.NewSelector()
+	e.udp = newUDPRelay(e)
 	e.mapper = newMapper(d.ProcNet, d.Packages, cfg.Mapping, cfg.MapWait, d.Clock)
 	if cfg.WriteScheme != DirectWrite {
 		e.writeQ = newPacketQueue(d.Clock, cfg.WriteScheme == QueueWriteNewPut, cfg.SpinThreshold, cfg.Seed+1)

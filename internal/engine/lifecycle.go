@@ -23,6 +23,7 @@ func (e *Engine) Start() {
 	}
 	e.dev.SetBlocking(e.cfg.ReadMode == ReadBlocking)
 
+	e.udp.start()
 	e.wg.Add(1)
 	go e.tunReader()
 	// The Haystack-style polled main loop is inherently single-threaded;
@@ -71,11 +72,14 @@ func (e *Engine) Stop() {
 		e.writeQ.close()
 	}
 	e.wg.Wait()
+	// The packet-processing threads are gone, so no new UDP jobs can be
+	// enqueued; stopping the relay closes its sessions and pool.
+	e.udp.stop()
 	e.sel.Close()
 
 	for _, c := range e.flows.Drain() {
-		if c.Ch != nil {
-			c.Ch.Close()
+		if ch := c.Ch(); ch != nil {
+			ch.Close()
 		}
 	}
 }

@@ -50,6 +50,10 @@ type mapper struct {
 	version int64
 	// byRemote is the MapCache-mode cache keyed by remote endpoint.
 	byRemote map[netip.AddrPort]appInfo
+	// udpByPort/udpVersion mirror byPort/version for the udp/udp6
+	// tables, used by the pooled UDP relay's attribution.
+	udpByPort  map[uint16]procnet.Entry
+	udpVersion int64
 
 	parses   int             // parses performed
 	avoided  int             // resolutions that needed no parse of their own
@@ -65,13 +69,14 @@ func newMapper(reader *procnet.Reader, pm *procnet.PackageManager, mode MappingM
 		wait = 50 * time.Millisecond
 	}
 	return &mapper{
-		reader:   reader,
-		pm:       pm,
-		mode:     mode,
-		wait:     wait,
-		clk:      clk,
-		byPort:   make(map[uint16]procnet.Entry),
-		byRemote: make(map[netip.AddrPort]appInfo),
+		reader:    reader,
+		pm:        pm,
+		mode:      mode,
+		wait:      wait,
+		clk:       clk,
+		byPort:    make(map[uint16]procnet.Entry),
+		byRemote:  make(map[netip.AddrPort]appInfo),
+		udpByPort: make(map[uint16]procnet.Entry),
 	}
 }
 
@@ -203,6 +208,44 @@ func (m *mapper) resolveCache(local, remote netip.AddrPort) appInfo {
 	m.byRemote[remote] = info
 	m.mu.Unlock()
 	return info
+}
+
+// resolveUDP maps a datagram socket's local port to its owning app via
+// the udp/udp6 proc tables. It runs once per UDP relay session, always
+// on a pooled relay worker — never the packet path — with the same
+// freshness rule as the TCP path: only a parse begun at or after the
+// session's first datagram is trusted to contain the socket. It keeps
+// its own cache and deliberately leaves the §3.3 lazy-mapping stats
+// untouched; those feed Figure 5, which measures the TCP SYN path.
+func (m *mapper) resolveUDP(local netip.AddrPort, at int64) appInfo {
+	if m.mode == MapOff {
+		return unknownApp
+	}
+	port := local.Port()
+	m.mu.Lock()
+	if e, ok := m.udpByPort[port]; ok && m.udpVersion >= at {
+		m.mu.Unlock()
+		return m.lookupUID(e.UID)
+	}
+	m.mu.Unlock()
+	began := m.clk.Nanos()
+	entries, err := m.reader.ParseAllUDP()
+	if err != nil {
+		return unknownApp
+	}
+	m.mu.Lock()
+	byPort := make(map[uint16]procnet.Entry, len(entries))
+	for _, e := range entries {
+		byPort[e.Local.Port()] = e
+	}
+	m.udpByPort = byPort
+	m.udpVersion = began
+	e, ok := byPort[port]
+	m.mu.Unlock()
+	if !ok {
+		return unknownApp
+	}
+	return m.lookupUID(e.UID)
 }
 
 func (m *mapper) lookupUID(uid int) appInfo {

@@ -21,6 +21,18 @@ type Stats struct {
 	UDPRelayed      int
 	DecodeErrors    int
 
+	// DNSTimeouts counts relayed DNS transactions whose blocking
+	// receive expired (§2.4 leaves retries to the app's resolver; the
+	// failure is still worth surfacing).
+	DNSTimeouts int
+	// UDPDropped counts datagrams dropped because the pooled relay's
+	// job queue was full — UDP's contract under flood.
+	UDPDropped int
+	// UDPBytesUp/UDPBytesDown are relayed non-DNS UDP payload volumes
+	// (app->server / server->app).
+	UDPBytesUp   int64
+	UDPBytesDown int64
+
 	// WriteHist is the tunnel-write delay as observed by the writing
 	// thread; PutHist is the enqueue delay (Table 1).
 	WriteHist stats.DelayHistogram
@@ -47,6 +59,10 @@ type counters struct {
 	pureACKs        atomic.Int64
 	udpRelayed      atomic.Int64
 	decodeErrors    atomic.Int64
+	dnsTimeouts     atomic.Int64
+	udpDropped      atomic.Int64
+	udpBytesUp      atomic.Int64
+	udpBytesDown    atomic.Int64
 }
 
 // Stats snapshots the engine counters, folding in mapper and queue
@@ -69,6 +85,10 @@ func (e *Engine) Stats() Stats {
 		PureACKs:        int(e.ctr.pureACKs.Load()),
 		UDPRelayed:      int(e.ctr.udpRelayed.Load()),
 		DecodeErrors:    int(e.ctr.decodeErrors.Load()),
+		DNSTimeouts:     int(e.ctr.dnsTimeouts.Load()),
+		UDPDropped:      int(e.ctr.udpDropped.Load()),
+		UDPBytesUp:      e.ctr.udpBytesUp.Load(),
+		UDPBytesDown:    e.ctr.udpBytesDown.Load(),
 	}
 	e.histMu.Lock()
 	s.WriteHist = e.writeHist

@@ -69,8 +69,8 @@ func (e *Engine) handleTunnelTCP(pkt *packet.Packet) {
 		// §2.3 TCP RST: close the external connection, drop the client.
 		cl.SM.OnRST()
 		e.removeClient(cl)
-		if cl.Ch != nil {
-			cl.Ch.Reset()
+		if ch := cl.Ch(); ch != nil {
+			ch.Reset()
 		}
 
 	case t.Has(packet.FlagFIN):
@@ -110,8 +110,8 @@ func (e *Engine) handleTunnelTCP(pkt *packet.Packet) {
 // exists the data simply waits in the buffer; the socket-connect thread
 // triggers the flush after registering.
 func (e *Engine) triggerWrite(cl *relay.TCPClient) {
-	if cl.Key != nil && cl.Ch != nil && cl.Ch.Connected() {
-		cl.Key.SetInterestOps(sockets.OpRead | sockets.OpWrite)
+	if k, ch := cl.Key(), cl.Ch(); k != nil && ch != nil && ch.Connected() {
+		k.SetInterestOps(sockets.OpRead | sockets.OpWrite)
 	}
 }
 
@@ -141,7 +141,7 @@ func (e *Engine) onSYN(pkt *packet.Packet, flow packet.FlowKey) {
 		// stalling every other flow (§3.5.2).
 		ch := e.prov.Open()
 		ch.Protect()
-		cl.Ch = ch
+		cl.SetCh(ch)
 	}
 
 	if e.cfg.BlockingConnectMeasure {
@@ -160,10 +160,10 @@ func (e *Engine) socketConnectBlocking(cl *relay.TCPClient) {
 	// the measurement timestamps below are unaffected (§2.4's design
 	// keeps them immediately around the connect call).
 	e.prov.ChargeThreadSpawn()
-	ch := cl.Ch
+	ch := cl.Ch()
 	if ch == nil {
 		ch = e.prov.Open()
-		cl.Ch = ch
+		cl.SetCh(ch)
 	}
 	if e.cfg.Protect == ProtectPerSocket {
 		// §3.5.2 mitigation for pre-5.0: pay protect() here so only
@@ -187,17 +187,12 @@ func (e *Engine) socketConnectBlocking(cl *relay.TCPClient) {
 	}
 	e.ctr.established.Add(1)
 
-	if e.cfg.DeferRegister {
-		cl.Key = e.sel.Register(ch, sockets.OpRead, cl)
-	} else {
-		// Registration already happened on the main thread in
-		// event-driven mode; in blocking mode without deferral we still
-		// must register somewhere — do it here but the cost model is
-		// identical.
-		cl.Key = e.sel.Register(ch, sockets.OpRead, cl)
-	}
+	// DeferRegister or not, registration happens here in blocking mode;
+	// the §3.4 cost model is identical either way.
+	key := e.sel.Register(ch, sockets.OpRead, cl)
+	cl.SetKey(key)
 	if cl.PendingWrites() || cl.HalfCloseRequested() {
-		cl.Key.SetInterestOps(sockets.OpRead | sockets.OpWrite)
+		key.SetInterestOps(sockets.OpRead | sockets.OpWrite)
 	}
 
 	// Lazy mapping: after the connection is established or failed, so
@@ -214,17 +209,18 @@ func (e *Engine) socketConnectBlocking(cl *relay.TCPClient) {
 // dispatch latency into the RTT (the inaccuracy Table 2 shows for
 // MobiPerf-style measurement).
 func (e *Engine) socketConnectEventDriven(cl *relay.TCPClient) {
-	ch := cl.Ch
+	ch := cl.Ch()
 	if ch == nil {
 		ch = e.prov.Open()
-		cl.Ch = ch
+		cl.SetCh(ch)
 	}
 	if e.cfg.Protect == ProtectPerSocket {
 		ch.Protect()
 	}
-	cl.Key = e.sel.Register(ch, sockets.OpRead|sockets.OpConnect, cl)
+	key := e.sel.Register(ch, sockets.OpRead|sockets.OpConnect, cl)
+	cl.SetKey(key)
 	connStart := e.clk.Nanos()
-	cl.Key.Attach(&eventConnect{client: cl, start: connStart})
+	key.Attach(&eventConnect{client: cl, start: connStart})
 	if err := ch.ConnectNonBlocking(cl.Flow.Dst); err != nil {
 		cl.SM.Refuse()
 		e.connectFailed(cl)
@@ -240,8 +236,8 @@ type eventConnect struct {
 func (e *Engine) connectFailed(cl *relay.TCPClient) {
 	e.ctr.connectFailures.Add(1)
 	e.removeClient(cl)
-	if cl.Ch != nil {
-		cl.Ch.Close()
+	if ch := cl.Ch(); ch != nil {
+		ch.Close()
 	}
 }
 
@@ -317,7 +313,7 @@ func (e *Engine) handleSocketOps(k *sockets.SelectionKey, ready sockets.Ops) {
 // selector.
 func (e *Engine) finishEventConnect(k *sockets.SelectionKey, ec *eventConnect) {
 	cl := ec.client
-	ch := cl.Ch
+	ch := cl.Ch()
 	now := e.clk.Nanos()
 	if err := ch.FinishConnect(); err != nil {
 		if errors.Is(err, sockets.ErrConnPending) {
@@ -351,9 +347,10 @@ func (e *Engine) finishEventConnect(k *sockets.SelectionKey, ec *eventConnect) {
 // internal-connection data packets; on EOF generate FIN; on reset
 // generate RST.
 func (e *Engine) socketRead(cl *relay.TCPClient) {
+	ch := cl.Ch()
 	buf := make([]byte, 16*1024)
 	for {
-		n, err := cl.Ch.Read(buf)
+		n, err := ch.Read(buf)
 		if n > 0 {
 			e.ctr.bytesDown.Add(int64(n))
 			e.meter.AddPackets(int64((n+e.cfg.MSS-1)/e.cfg.MSS), int64(n))
@@ -375,7 +372,7 @@ func (e *Engine) socketRead(cl *relay.TCPClient) {
 		default:
 			cl.SM.SendRST()
 			e.removeClient(cl)
-			cl.Ch.Close()
+			ch.Close()
 			return
 		}
 	}
@@ -386,13 +383,14 @@ func (e *Engine) socketRead(cl *relay.TCPClient) {
 // half close, half-close the external connection and clear write
 // interest.
 func (e *Engine) socketWrite(cl *relay.TCPClient) {
+	ch := cl.Ch()
 	bufs := cl.TakeWrites()
 	wrote := false
 	for _, b := range bufs {
-		if _, err := cl.Ch.Write(b); err != nil {
+		if _, err := ch.Write(b); err != nil {
 			cl.SM.SendRST()
 			e.removeClient(cl)
-			cl.Ch.Close()
+			ch.Close()
 			return
 		}
 		wrote = true
@@ -401,11 +399,11 @@ func (e *Engine) socketWrite(cl *relay.TCPClient) {
 		_ = cl.SM.AckApp()
 	}
 	if cl.HalfCloseRequested() && !cl.PendingWrites() {
-		_ = cl.Ch.CloseWrite()
+		_ = ch.CloseWrite()
 		e.maybeFinish(cl)
 	}
-	if cl.Key != nil {
-		cl.Key.SetInterestOps(sockets.OpRead)
+	if k := cl.Key(); k != nil {
+		k.SetInterestOps(sockets.OpRead)
 	}
 }
 
@@ -413,6 +411,8 @@ func (e *Engine) socketWrite(cl *relay.TCPClient) {
 func (e *Engine) maybeFinish(cl *relay.TCPClient) {
 	if cl.SM.State() == tcpsm.StateClosed {
 		e.removeClient(cl)
-		cl.Ch.Close()
+		if ch := cl.Ch(); ch != nil {
+			ch.Close()
+		}
 	}
 }

@@ -19,9 +19,14 @@ import (
 type AppTraffic struct {
 	App         string
 	Connections int
-	BytesUp     int64 // app -> server
-	BytesDown   int64 // server -> app
+	BytesUp     int64 // app -> server (TCP)
+	BytesDown   int64 // server -> app (TCP)
 	DNSQueries  int
+	// UDPBytesUp/UDPBytesDown are the app's relayed non-DNS datagram
+	// volumes, attributed through the udp/udp6 proc tables the same way
+	// TCP connections are attributed through tcp/tcp6 (§2.2).
+	UDPBytesUp   int64
+	UDPBytesDown int64
 }
 
 // trafficBook accumulates per-app traffic under its own lock (hot
@@ -56,6 +61,15 @@ func (t *trafficBook) dns(app string) {
 	t.mu.Unlock()
 }
 
+// udp folds one relayed datagram direction's bytes.
+func (t *trafficBook) udp(app string, up, down int64) {
+	t.mu.Lock()
+	e := t.get(app)
+	e.UDPBytesUp += up
+	e.UDPBytesDown += down
+	t.mu.Unlock()
+}
+
 // get returns the entry for app; caller holds t.mu.
 func (t *trafficBook) get(app string) *AppTraffic {
 	e, ok := t.apps[app]
@@ -75,8 +89,8 @@ func (t *trafficBook) snapshot() []AppTraffic {
 	}
 	t.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
-		ti := out[i].BytesUp + out[i].BytesDown
-		tj := out[j].BytesUp + out[j].BytesDown
+		ti := out[i].BytesUp + out[i].BytesDown + out[i].UDPBytesUp + out[i].UDPBytesDown
+		tj := out[j].BytesUp + out[j].BytesDown + out[j].UDPBytesUp + out[j].UDPBytesDown
 		if ti != tj {
 			return ti > tj
 		}
@@ -104,6 +118,8 @@ func (e *Engine) AppTraffic() []AppTraffic {
 		entry.BytesDown += b.BytesDown
 		entry.Connections += b.Connections
 		entry.DNSQueries += b.DNSQueries
+		entry.UDPBytesUp += b.UDPBytesUp
+		entry.UDPBytesDown += b.UDPBytesDown
 		merged.mu.Unlock()
 	}
 	return merged.snapshot()

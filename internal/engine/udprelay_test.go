@@ -1,0 +1,234 @@
+package engine_test
+
+import (
+	"fmt"
+	"net/netip"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/engine"
+	"repro/internal/netsim"
+	"repro/internal/phonestack"
+	"repro/internal/procnet"
+	"repro/internal/sockets"
+	"repro/internal/tun"
+)
+
+// Tests for the pooled UDP relay subsystem: DNS failure accounting,
+// per-app UDP byte attribution, NAT-style session reuse and idle
+// expiry, and the bounded-goroutine property under datagram flood.
+
+// TestDNSTimeoutCounted verifies the dnsTimeouts counter: a dead
+// resolver produces no record but the failed transaction is visible in
+// Stats.
+func TestDNSTimeoutCounted(t *testing.T) {
+	cfg := engine.Default()
+	cfg.DNSTimeout = 50 * time.Millisecond
+	tb := newAblationBed(t, cfg, sockets.ZeroCosts(), procnet.ZeroParseCost())
+	deadDNS := netip.MustParseAddrPort("9.9.9.9:53")
+	if _, err := tb.phone.Resolve(uidApp, deadDNS, "example.com", 200*time.Millisecond); err == nil {
+		t.Fatal("resolve against dead server succeeded")
+	}
+	waitFor(t, 3*time.Second, func() bool { return tb.eng.Stats().DNSTimeouts >= 1 }, "dnsTimeouts counter")
+	if got := tb.eng.Stats().DNSMeasurements; got != 0 {
+		t.Errorf("dead resolver produced %d measurements", got)
+	}
+	// A healthy resolve afterwards measures without counting a timeout.
+	before := tb.eng.Stats().DNSTimeouts
+	if _, err := tb.phone.Resolve(uidApp, tb.dns, "example.com", 5*time.Second); err != nil {
+		t.Fatalf("healthy resolve: %v", err)
+	}
+	waitFor(t, 3*time.Second, func() bool { return tb.eng.Stats().DNSMeasurements >= 1 }, "DNS measurement")
+	if got := tb.eng.Stats().DNSTimeouts; got != before {
+		t.Errorf("healthy resolve bumped DNSTimeouts to %d", got)
+	}
+}
+
+// TestUDPTrafficAttribution verifies relayed non-DNS UDP bytes land in
+// the traffic stats attributed to the owning app (via the udp/udp6
+// proc tables), and in the engine counters.
+func TestUDPTrafficAttribution(t *testing.T) {
+	tb := newTestbed(t, engine.Default())
+	echoPort := netip.MustParseAddrPort("203.0.113.77:9999")
+	tb.net.HandleUDP(echoPort, 0, func(req []byte, from netip.AddrPort) []byte {
+		return append([]byte("pong:"), req...)
+	})
+	u, err := tb.phone.OpenUDP(uidApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	if err := u.SendTo(echoPort, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := u.Recv(5 * time.Second); err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	waitFor(t, 3*time.Second, func() bool {
+		for _, a := range tb.eng.AppTraffic() {
+			if a.App == appName && a.UDPBytesUp >= 4 && a.UDPBytesDown >= 9 {
+				return true
+			}
+		}
+		return false
+	}, "per-app UDP byte attribution")
+	st := tb.eng.Stats()
+	if st.UDPBytesUp < 4 || st.UDPBytesDown < 9 {
+		t.Errorf("UDP byte counters: up %d down %d", st.UDPBytesUp, st.UDPBytesDown)
+	}
+	if st.UDPRelayed < 1 {
+		t.Errorf("UDPRelayed = %d", st.UDPRelayed)
+	}
+}
+
+// TestUDPSessionReuseAndExpiry exercises the NAT-style session
+// lifecycle: one flow maps to one session no matter how many datagrams
+// it sends, and an idle session is expired by the sweeper.
+func TestUDPSessionReuseAndExpiry(t *testing.T) {
+	cfg := engine.Default()
+	cfg.UDPSessionIdle = 60 * time.Millisecond
+	tb := newTestbed(t, cfg)
+	echoPort := netip.MustParseAddrPort("203.0.113.77:9999")
+	tb.net.HandleUDP(echoPort, 0, func(req []byte, from netip.AddrPort) []byte { return req })
+
+	u, err := tb.phone.OpenUDP(uidApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	for i := 0; i < 5; i++ {
+		if err := u.SendTo(echoPort, []byte("ping")); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := u.Recv(5 * time.Second); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+	}
+	if got := tb.eng.ActiveUDPSessions(); got != 1 {
+		t.Fatalf("5 datagrams of one flow created %d sessions, want 1", got)
+	}
+
+	// Let the session go idle past the deadline, then poke the relay
+	// from a different flow so the enqueue path schedules a sweep.
+	time.Sleep(2 * cfg.UDPSessionIdle)
+	u2, err := tb.phone.OpenUDP(uidApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u2.Close()
+	if err := u2.SendTo(echoPort, []byte("poke")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, func() bool { return tb.eng.ActiveUDPSessions() == 1 }, "idle session expiry")
+
+	// The original flow still relays — a fresh session replaces the
+	// expired one transparently.
+	if err := u.SendTo(echoPort, []byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := u.Recv(5 * time.Second); err != nil {
+		t.Fatalf("recv after expiry: %v", err)
+	}
+}
+
+// TestUDPFloodBoundedGoroutines is the acceptance check for the pooled
+// relay: a datagram flood through the multi-worker engine must not
+// spawn goroutines per datagram — the count stays within the pool size
+// plus a small constant. (The pre-pool engine spawned one goroutine
+// per datagram: a 400-datagram flood meant ~400 goroutines.)
+func TestUDPFloodBoundedGoroutines(t *testing.T) {
+	const (
+		conns        = 4
+		perConn      = 100
+		totalFlood   = conns * perConn
+		boundedSlack = 24 // engine threads churn (connect threads, netsim)
+	)
+
+	// Loopback network: UDP services answer inline, so the only
+	// goroutines in play are the engine's own.
+	clk := clock.NewReal()
+	net := netsim.New(clk, netsim.LinkParams{}, 1)
+	net.SetLoopback(true)
+	defer net.Close()
+	echoPort := netip.MustParseAddrPort("203.0.113.88:7777")
+	net.HandleUDP(echoPort, 0, func(req []byte, from netip.AddrPort) []byte { return req })
+
+	dev := tun.New(clk, 4096)
+	defer dev.Close()
+	table := procnet.NewTable()
+	pm := procnet.NewPackageManager()
+	pm.Install(uidApp, appName)
+	phone := phonestack.New(clk, dev, phoneVPNAddr, table, 2)
+	defer phone.Close()
+	prov := sockets.NewProvider(net, clk, phoneWANAddr, sockets.ZeroCosts(), 3)
+	reader := procnet.NewReader(table, clk, procnet.ZeroParseCost(), 4)
+
+	cfg := engine.Default()
+	cfg.Workers = 4
+	eng := engine.New(cfg, engine.Deps{
+		Clock: clk, Device: dev, Sockets: prov, ProcNet: reader, Packages: pm,
+	})
+	eng.Start()
+	defer eng.Stop()
+
+	baseline := runtime.NumGoroutine()
+
+	socks := make([]*phonestack.UDPConn, conns)
+	for i := range socks {
+		u, err := phone.OpenUDP(uidApp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer u.Close()
+		socks[i] = u
+	}
+
+	peak := baseline
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < perConn; i++ {
+			for _, u := range socks {
+				if err := u.SendTo(echoPort, []byte(fmt.Sprintf("flood-%d", i))); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	hardStop := time.Now().Add(5 * time.Second)
+	var drainUntil time.Time
+	for {
+		if g := runtime.NumGoroutine(); g > peak {
+			peak = g
+		}
+		select {
+		case <-done:
+			// Flood injected; keep sampling while the pool drains.
+			drainUntil = time.Now().Add(150 * time.Millisecond)
+			done = nil
+		default:
+		}
+		now := time.Now()
+		if (done == nil && now.After(drainUntil)) || now.After(hardStop) {
+			break
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+
+	if peak-baseline > boundedSlack {
+		t.Errorf("goroutine peak %d (baseline %d, +%d) exceeds pool+constant bound %d — relay is spawning per datagram?",
+			peak, baseline, peak-baseline, boundedSlack)
+	}
+	if peak-baseline >= totalFlood/2 {
+		t.Errorf("goroutine growth %d is flood-proportional (%d datagrams)", peak-baseline, totalFlood)
+	}
+
+	// The relay stayed live: responses flowed back (drops are allowed
+	// under overload, silence is not).
+	waitFor(t, 5*time.Second, func() bool {
+		st := eng.Stats()
+		return st.UDPRelayed+st.UDPDropped >= totalFlood/2
+	}, "flood relayed or accounted")
+}

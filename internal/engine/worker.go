@@ -27,14 +27,14 @@ type worker struct {
 	q  *workQueue
 }
 
-// workItem is one unit routed to a worker: either a decoded tunnel
-// packet or a socket readiness event (ready claimed by the dispatcher,
-// since ReadyOps() is consume-once).
+// workItem is one unit routed to a worker: either a raw tunnel packet
+// (decoded by the owning worker, not the dispatcher) or a socket
+// readiness event (ready claimed by the dispatcher, since ReadyOps()
+// is consume-once).
 type workItem struct {
-	pkt    *packet.Packet
-	rawLen int
-	key    *sockets.SelectionKey
-	ready  sockets.Ops
+	raw   []byte
+	key   *sockets.SelectionKey
+	ready sockets.Ops
 }
 
 // workerFor maps a shard index to its owning worker.
@@ -51,8 +51,8 @@ func (e *Engine) workerLoop(w *worker) {
 			return
 		}
 		switch {
-		case it.pkt != nil:
-			e.processPacket(it.pkt, it.rawLen)
+		case it.raw != nil:
+			e.handleTunnelPacket(it.raw)
 		case it.key != nil:
 			e.handleSocketOps(it.key, it.ready)
 		}
@@ -124,18 +124,20 @@ func (e *Engine) routeKey(k *sockets.SelectionKey) bool {
 	return true
 }
 
-// routePacket decodes one tunnel packet and hands it to the worker
-// pinned to its flow. Decoding on the dispatcher is what makes routing
-// possible (the flow key lives in the headers); the per-packet relay
-// work still happens on the worker.
+// routePacket hands one raw tunnel packet to the worker pinned to its
+// flow. Routing needs only the flow key, so the dispatcher peeks it
+// straight out of the header bytes — no decode, no copy, no allocation
+// (packet.PeekFlowKey) — and the full Decode happens on the owning
+// worker, off the dispatch hot path. PeekFlowKey applies exactly
+// Decode's structural validation, so a packet rejected here (counted
+// as a decode error) is one the worker would have rejected anyway.
 func (e *Engine) routePacket(raw []byte) {
-	pkt, err := packet.Decode(raw)
+	key, err := packet.PeekFlowKey(raw)
 	if err != nil {
 		e.ctr.decodeErrors.Add(1)
 		return
 	}
-	shard := e.flows.Shard(packet.Flow(pkt))
-	e.workerFor(shard).q.push(workItem{pkt: pkt, rawLen: len(raw)})
+	e.workerFor(e.flows.Shard(key)).q.push(workItem{raw: raw})
 }
 
 // mainWorker is the single packet-processing thread (Figure 4): one

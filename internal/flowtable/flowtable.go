@@ -186,6 +186,28 @@ func (t *Table[V]) ForEach(fn func(k packet.FlowKey, v V)) {
 	}
 }
 
+// DeleteFunc removes every flow for which pred returns true, one shard
+// at a time, and returns the removed values. pred runs under the shard
+// lock, so it must be fast and must not call back into the table — the
+// UDP session table uses it for idle expiry, where pred is a single
+// atomic timestamp comparison.
+func (t *Table[V]) DeleteFunc(pred func(k packet.FlowKey, v V) bool) []V {
+	var out []V
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for k, v := range s.flows {
+			if pred(k, v) {
+				out = append(out, v)
+				delete(s.flows, k)
+			}
+		}
+		s.mu.Unlock()
+	}
+	t.size.Add(int64(-len(out)))
+	return out
+}
+
 // Drain removes every flow and returns the removed values — the
 // engine's shutdown sweep.
 func (t *Table[V]) Drain() []V {

@@ -165,3 +165,31 @@ func BenchmarkShardedVsSingleLock(b *testing.B) {
 		})
 	}
 }
+
+func TestDeleteFunc(t *testing.T) {
+	tb := New[int](8)
+	for i := 0; i < 100; i++ {
+		tb.Put(key(i), i)
+	}
+	removed := tb.DeleteFunc(func(_ packet.FlowKey, v int) bool { return v%2 == 0 })
+	if len(removed) != 50 {
+		t.Fatalf("removed %d, want 50", len(removed))
+	}
+	for _, v := range removed {
+		if v%2 != 0 {
+			t.Fatalf("removed odd value %d", v)
+		}
+	}
+	if tb.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", tb.Len())
+	}
+	for i := 0; i < 100; i++ {
+		_, ok := tb.Get(key(i))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) present=%v, want %v", i, ok, want)
+		}
+	}
+	if got := tb.DeleteFunc(func(packet.FlowKey, int) bool { return false }); len(got) != 0 {
+		t.Fatalf("no-op DeleteFunc removed %d", len(got))
+	}
+}

@@ -165,6 +165,9 @@ type scheduler struct {
 	jitter time.Duration
 	bw     Bandwidth
 	dst    *mailbox
+	// sync marks loopback mode: deliveries happen inline on the
+	// sender's thread and no run goroutine exists.
+	sync bool
 
 	mu            sync.Mutex
 	nextFree      int64 // when the link can begin serialising the next chunk
@@ -183,9 +186,17 @@ func newScheduler(n *Network, delay, jitter time.Duration, bw Bandwidth, dst *ma
 		jitter: jitter,
 		bw:     bw,
 		dst:    dst,
-		q:      make(chan chunk, sendQueueDepth),
-		ctrl:   make(chan struct{}, 1),
 	}
+	if n.Loopback() {
+		// Zero-delay loopback: no scheduler goroutine at all. Data goes
+		// straight into the peer's mailbox (flow control still applies
+		// — deliver blocks while the buffer is full, a full send buffer
+		// in socket terms), EOF/RST flags flip inline.
+		s.sync = true
+		return s
+	}
+	s.q = make(chan chunk, sendQueueDepth)
+	s.ctrl = make(chan struct{}, 1)
 	go s.run()
 	return s
 }
@@ -197,6 +208,11 @@ func (s *scheduler) send(c chunk) error {
 	if s.closed {
 		s.mu.Unlock()
 		return ErrClosed
+	}
+	if s.sync {
+		s.mu.Unlock()
+		s.dst.deliver(c)
+		return nil
 	}
 	now := s.net.clk.Nanos()
 	start := now
@@ -233,7 +249,12 @@ func (s *scheduler) closeWithEOF() {
 	}
 	s.closed = true
 	s.eofAfterDrain = true
+	sync := s.sync
 	s.mu.Unlock()
+	if sync {
+		s.dst.deliver(chunk{eof: true})
+		return
+	}
 	s.wake()
 }
 
@@ -248,9 +269,12 @@ func (s *scheduler) abort() {
 	}
 	s.closed = true
 	s.eofAfterDrain = false
+	sync := s.sync
 	s.mu.Unlock()
 	s.dst.deliver(chunk{rst: true})
-	s.wake()
+	if !sync {
+		s.wake()
+	}
 }
 
 // stop ends the run loop without signalling the peer (used when the
@@ -258,8 +282,11 @@ func (s *scheduler) abort() {
 func (s *scheduler) stop() {
 	s.mu.Lock()
 	s.closed = true
+	sync := s.sync
 	s.mu.Unlock()
-	s.wake()
+	if !sync {
+		s.wake()
+	}
 }
 
 func (s *scheduler) wake() {

@@ -145,6 +145,8 @@ type Network struct {
 	synRTO time.Duration
 	// maxSYN is how many SYNs are sent before giving up with ErrTimeout.
 	maxSYN int
+	// loopback selects the zero-delay server mode (SetLoopback).
+	loopback bool
 }
 
 type udpService struct {
@@ -167,6 +169,37 @@ func New(clk clock.Clock, def LinkParams, seed int64) *Network {
 		maxSYN:  3,
 		done:    make(chan struct{}),
 	}
+}
+
+// SetLoopback switches the network into zero-delay loopback server
+// mode: connection establishment returns without sleeping the
+// handshake round trip, established connections deliver bytes
+// synchronously into the peer's receive buffer (no per-direction
+// scheduler goroutine, no serialisation or propagation sleeps), and
+// UDP services answer inline on the sender's thread (no per-datagram
+// goroutine). Link loss, jitter, and bandwidth are ignored.
+//
+// This is the engine-ceiling mode: benchmarks that want to measure the
+// relay engine rather than the simulated wire run against a loopback
+// network, the way a loopback iperf measures a host's stack rather
+// than a path (`paperbench -exp dispatch`). Flow control is still
+// real — a sender blocks when the peer's receive buffer is full — so
+// it is meant for request/response workloads, not one-directional
+// firehoses against a stalled reader.
+//
+// Call it once, before any connection or datagram exists; connections
+// snapshot the mode at creation.
+func (n *Network) SetLoopback(on bool) {
+	n.mu.Lock()
+	n.loopback = on
+	n.mu.Unlock()
+}
+
+// Loopback reports whether zero-delay loopback mode is active.
+func (n *Network) Loopback() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.loopback
 }
 
 // SetLink overrides the path parameters for one destination address.
@@ -294,14 +327,18 @@ func (n *Network) Dial(src, dst netip.AddrPort) (*Conn, error) {
 	link := n.Link(dst.Addr())
 	n.mu.Lock()
 	rto, attempts := n.synRTO, n.maxSYN
+	loopback := n.loopback
 	n.mu.Unlock()
 	for i := 0; i < attempts; i++ {
 		n.emit(WireEvent{At: n.clk.Nanos(), Kind: EventSYN, Local: src, Remote: dst, Bytes: 40})
-		if n.drop(link.Loss) {
+		if !loopback && n.drop(link.Loss) {
 			n.clk.Sleep(rto)
 			continue
 		}
-		rtt := link.RTT() + n.jitter(link.Jitter) + n.jitter(link.Jitter)
+		var rtt time.Duration
+		if !loopback {
+			rtt = link.RTT() + n.jitter(link.Jitter) + n.jitter(link.Jitter)
+		}
 		handler, ok := n.lookupTCP(dst)
 		if !ok {
 			// RST arrives after a full round trip.

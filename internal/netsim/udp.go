@@ -27,6 +27,18 @@ func (n *Network) SendUDP(src, dst netip.AddrPort, payload []byte, deliver func(
 		return // silently dropped; ICMP unreachable is not modelled
 	}
 	req := append([]byte(nil), payload...)
+	if n.Loopback() {
+		// Zero-delay loopback: the service answers inline on the
+		// sender's thread — no per-datagram goroutine, no link or think
+		// sleeps. What remains is exactly the engine-side datagram work.
+		resp := svc.handler(req, src)
+		if resp == nil {
+			return
+		}
+		n.emit(WireEvent{At: n.clk.Nanos(), Kind: EventUDPIn, Local: src, Remote: dst, Bytes: len(resp)})
+		deliver(resp)
+		return
+	}
 	outDelay := link.Delay + n.jitter(link.Jitter)
 	go func() {
 		n.clk.Sleep(outDelay)

@@ -314,6 +314,21 @@ func (r *Reader) ParseAll() ([]Entry, error) {
 	return append(t4, t6...), nil
 }
 
+// ParseAllUDP reads udp and udp6 — the UDP relay's attribution path.
+// DNS and other datagram sockets appear here with their owner UID just
+// as TCP connections appear in tcp/tcp6 (§2.2).
+func (r *Reader) ParseAllUDP() ([]Entry, error) {
+	u4, err := r.Parse(UDP)
+	if err != nil {
+		return nil, err
+	}
+	u6, err := r.Parse(UDP6)
+	if err != nil {
+		return nil, err
+	}
+	return append(u4, u6...), nil
+}
+
 func (r *Reader) drawCost(entries int) time.Duration {
 	c := r.cost.Base + time.Duration(entries)*r.cost.PerEntry
 	if r.cost.SpikeProb > 0 {

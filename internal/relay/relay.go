@@ -20,11 +20,15 @@ type TCPClient struct {
 	Flow packet.FlowKey
 	// SM terminates the internal connection.
 	SM *tcpsm.Machine
-	// Ch is the external socket channel, nil until the socket-connect
-	// thread creates it.
-	Ch *sockets.Channel
-	// Key is the selector registration, nil until registered.
-	Key *sockets.SelectionKey
+
+	// ch is the external socket channel, nil until the socket-connect
+	// thread creates it; key is the selector registration, nil until
+	// registered. Both are written by the temporary socket-connect
+	// thread while the engine's packet/teardown paths read them, so
+	// access goes through Ch/SetCh and Key/SetKey under the client
+	// mutex.
+	ch  *sockets.Channel
+	key *sockets.SelectionKey
 
 	// App attribution, filled by the packet-to-app mapping (§3.3).
 	// Written by the socket-connect thread and read by the engine's
@@ -53,6 +57,35 @@ type TCPClient struct {
 // NewTCPClient creates a client for a flow with its state machine.
 func NewTCPClient(flow packet.FlowKey, sm *tcpsm.Machine, synAt int64) *TCPClient {
 	return &TCPClient{Flow: flow, SM: sm, SYNAt: synAt, uid: -1, app: "unknown"}
+}
+
+// Ch returns the external socket channel (nil before the
+// socket-connect thread creates it).
+func (c *TCPClient) Ch() *sockets.Channel {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ch
+}
+
+// SetCh installs the external socket channel.
+func (c *TCPClient) SetCh(ch *sockets.Channel) {
+	c.mu.Lock()
+	c.ch = ch
+	c.mu.Unlock()
+}
+
+// Key returns the selector registration (nil before registration).
+func (c *TCPClient) Key() *sockets.SelectionKey {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.key
+}
+
+// SetKey installs the selector registration.
+func (c *TCPClient) SetKey(k *sockets.SelectionKey) {
+	c.mu.Lock()
+	c.key = k
+	c.mu.Unlock()
 }
 
 // SetApp records the resolved attribution (§3.3). Called from the

@@ -104,6 +104,15 @@ func (u *UDPSocket) TryRecv() ([]byte, bool) {
 	return msg, true
 }
 
+// Closed reports whether the socket has been released. The pooled UDP
+// relay checks this after a session-table hit so a session the idle
+// sweeper just expired is replaced instead of reused.
+func (u *UDPSocket) Closed() bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.closed
+}
+
 // Close releases the socket.
 func (u *UDPSocket) Close() {
 	u.mu.Lock()

@@ -55,6 +55,10 @@ type Options struct {
 	Servers []netsim.ServerSpec
 	// MeterBaseMB is the engine's baseline memory footprint.
 	MeterBaseMB float64
+	// Loopback switches the network into zero-delay loopback server
+	// mode (netsim.SetLoopback): benchmarks measure the engine, not the
+	// simulated wire. Link parameters are ignored.
+	Loopback bool
 	// Sniff attaches a tcpdump-style sniffer.
 	Sniff bool
 	// Seed drives all randomness.
@@ -91,6 +95,9 @@ func New(o Options) (*Bed, error) {
 	}
 	clk := clock.NewReal()
 	net := netsim.New(clk, o.Link, o.Seed)
+	if o.Loopback {
+		net.SetLoopback(true)
+	}
 	dnsLink := o.Link
 	if o.DNSLinkSet {
 		dnsLink = o.DNSLink

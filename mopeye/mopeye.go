@@ -94,6 +94,12 @@ type Options struct {
 	// dispatch latency, proc parse cost, tunnel write cost). Off by
 	// default for deterministic behaviour.
 	RealisticCosts bool
+	// Loopback runs the network in zero-delay loopback server mode:
+	// connects, byte streams, and UDP services complete with no
+	// simulated wire delay at all, so benchmarks measure the engine
+	// ceiling rather than the path (`paperbench -exp dispatch`). RTT
+	// options are ignored when set.
+	Loopback bool
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -132,6 +138,7 @@ func New(o Options) (*Phone, error) {
 		DNSLinkSet: true,
 		Seed:       o.Seed,
 		Sniff:      true,
+		Loopback:   o.Loopback,
 	}
 	if o.RealisticCosts {
 		opts.SocketCosts = sockets.AndroidCosts()

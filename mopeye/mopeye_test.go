@@ -268,3 +268,42 @@ func TestAppTrafficViaFacade(t *testing.T) {
 	}
 	t.Fatalf("traffic not attributed: %+v", p.AppTraffic())
 }
+
+// TestDispatchBenchLoopback runs a miniature engine-ceiling sweep:
+// the zero-delay loopback network must relay the full TCP flood and
+// the UDP datagrams through the pooled relay, at one worker and at
+// several.
+func TestDispatchBenchLoopback(t *testing.T) {
+	o := DispatchBenchOptions{
+		WorkerCounts:  []int{1, 4},
+		Apps:          2,
+		ConnsPerApp:   2,
+		EchoesPerConn: 5,
+		PayloadBytes:  256,
+		UDPPerConn:    3,
+	}
+	res, err := RunDispatchBench(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Errors != 0 {
+			t.Errorf("workers=%d: %d flood errors", row.Workers, row.Errors)
+		}
+		if row.Packets == 0 || row.PacketsPerSec <= 0 {
+			t.Errorf("workers=%d: no packets relayed: %+v", row.Workers, row)
+		}
+		// Loopback UDP cannot lose datagrams in transit; every one is
+		// either relayed or accounted as a queue drop.
+		if row.UDPRelayed+row.UDPDropped < o.Apps*o.ConnsPerApp*o.UDPPerConn {
+			t.Errorf("workers=%d: udp relayed %d + dropped %d < sent %d",
+				row.Workers, row.UDPRelayed, row.UDPDropped, o.Apps*o.ConnsPerApp*o.UDPPerConn)
+		}
+	}
+	if res.String() == "" {
+		t.Error("empty render")
+	}
+}
