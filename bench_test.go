@@ -394,6 +394,34 @@ func BenchmarkEngineCeiling(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineCeilingReadBatch ablates the batched TUN read path at
+// Workers=4: readbatch=1 is the PR 2 behaviour (per-packet retrieval,
+// per-packet queue locks), larger bursts amortise the TUN queue, the
+// per-worker ring pushes, and the batched tunnel writes. The pkts/sec
+// gap is what the batching layer itself buys at the engine ceiling.
+func BenchmarkEngineCeilingReadBatch(b *testing.B) {
+	for _, rb := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("readbatch=%d", rb), func(b *testing.B) {
+			o := mopeye.DefaultDispatchBenchOptions()
+			o.WorkerCounts = []int{4}
+			o.ReadBatch = rb
+			var pktsPerSec float64
+			for i := 0; i < b.N; i++ {
+				res, err := mopeye.RunDispatchBench(o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				row := res.Rows[0]
+				if row.Errors > 0 {
+					b.Fatalf("flood errors: %d", row.Errors)
+				}
+				pktsPerSec = row.PacketsPerSec
+			}
+			b.ReportMetric(pktsPerSec, "pkts/sec")
+		})
+	}
+}
+
 // BenchmarkAblationConnectLatency compares the app-observed connect
 // latency across engine variants — the ablation DESIGN.md calls out:
 // MopEye's defaults vs the ToyVpn-style unoptimised relay vs the

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mopeye [-apps N] [-conns N] [-pages N] [-realistic] [-variant mopeye|toyvpn|haystack] [-workers N]
+//	mopeye [-apps N] [-conns N] [-pages N] [-realistic] [-variant mopeye|toyvpn|haystack] [-workers N] [-readbatch N]
 package main
 
 import (
@@ -28,6 +28,7 @@ func main() {
 	realistic := flag.Bool("realistic", true, "enable Android-like cost models")
 	variant := flag.String("variant", "mopeye", "engine variant: mopeye, toyvpn or haystack")
 	workers := flag.Int("workers", 1, "packet-processing workers (1 = paper-faithful MainWorker)")
+	readbatch := flag.Int("readbatch", 0, "multi-worker read/write burst size (0 = default 64, 1 = batching off)")
 	flag.Parse()
 
 	var cfg engine.Config
@@ -54,6 +55,7 @@ func main() {
 		Servers:        servers,
 		Engine:         &cfg,
 		Workers:        *workers,
+		ReadBatch:      *readbatch,
 		RealisticCosts: *realistic,
 	})
 	if err != nil {

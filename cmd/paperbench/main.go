@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|table1|table2|table3|table4|fig5|overhead|parallel|dispatch] [-fast] [-workers 1,2,4]
+//	paperbench [-exp all|table1|table2|table3|table4|fig5|overhead|parallel|dispatch] [-fast] [-workers 1,2,4] [-readbatch 0]
 package main
 
 import (
@@ -22,6 +22,14 @@ import (
 
 	"repro/mopeye"
 )
+
+// batchLabel renders a ReadBatch sweep value ("default" for 0).
+func batchLabel(rb int) string {
+	if rb == 0 {
+		return "default"
+	}
+	return strconv.Itoa(rb)
+}
 
 // parseWorkers turns "1,2,4" into a sweep list.
 func parseWorkers(s string) ([]int, error) {
@@ -39,8 +47,23 @@ func parseWorkers(s string) ([]int, error) {
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig5, overhead, parallel, dispatch")
 	fast := flag.Bool("fast", false, "smaller workloads / shorter runs")
-	workers := flag.String("workers", "1,2,4", "worker counts swept by -exp parallel")
+	workers := flag.String("workers", "1,2,4", "worker counts swept by -exp parallel/dispatch")
+	readbatch := flag.String("readbatch", "0", "read/write burst sizes swept by -exp parallel/dispatch (comma list; 0 = engine default of 64, 1 = batching off)")
 	flag.Parse()
+
+	// parseBatches turns "-readbatch 1,64" into a sweep list (0 = the
+	// engine default).
+	parseBatches := func() []int {
+		var out []int
+		for _, part := range strings.Split(*readbatch, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 0 {
+				log.Fatalf("bad read batch %q", part)
+			}
+			out = append(out, n)
+		}
+		return out
+	}
 
 	run := func(name string) {
 		switch name {
@@ -118,12 +141,15 @@ func main() {
 			if *fast {
 				o.EchoesPerConn = 10
 			}
-			res, err := mopeye.RunParallelBench(o)
-			if err != nil {
-				log.Fatal(err)
+			for _, rb := range parseBatches() {
+				o.ReadBatch = rb
+				res, err := mopeye.RunParallelBench(o)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("Engine scaling — multi-app flood across worker counts (readbatch=%s):\n", batchLabel(rb))
+				fmt.Println(res)
 			}
-			fmt.Println("Engine scaling — multi-app flood across worker counts:")
-			fmt.Println(res)
 		case "dispatch":
 			o := mopeye.DefaultDispatchBenchOptions()
 			sweep, err := parseWorkers(*workers)
@@ -135,12 +161,15 @@ func main() {
 				o.EchoesPerConn = 15
 				o.UDPPerConn = 5
 			}
-			res, err := mopeye.RunDispatchBench(o)
-			if err != nil {
-				log.Fatal(err)
+			for _, rb := range parseBatches() {
+				o.ReadBatch = rb
+				res, err := mopeye.RunDispatchBench(o)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("Engine ceiling — zero-delay loopback flood across worker counts (readbatch=%s):\n", batchLabel(rb))
+				fmt.Println(res)
 			}
-			fmt.Println("Engine ceiling — zero-delay loopback flood across worker counts:")
-			fmt.Println(res)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)

@@ -88,6 +88,28 @@ type Config struct {
 	ReadMode     ReadMode
 	PollInterval time.Duration // sleep between empty polls for ReadPoll*
 
+	// PollBurst is ReadPollAdaptive's burst budget: how many empty
+	// polls after a successful read stay on the short interval before
+	// the poller backs off to PollInterval. Zero selects the ToyVpn
+	// default of 8; negative disables the burst window (every empty
+	// poll sleeps the long interval).
+	PollBurst int
+
+	// ReadBatch bounds how many tunnel packets the reader retrieves per
+	// burst on the multi-worker path: tun.ReadBatch amortises the TUN
+	// queue lock across the burst the way readv/recvmmsg amortise
+	// syscalls, and the emit side batches tunnel writes at the same
+	// grain. Zero selects the default of 64; 1 degenerates to
+	// packet-at-a-time (the batching ablation). Workers=1 always runs
+	// the paper's per-packet §3.1 read loop regardless.
+	ReadBatch int
+
+	// RingSize is the per-worker SPSC ring capacity on the multi-worker
+	// path, rounded up to a power of two; zero selects 1024. When a
+	// worker's ring is full the reader blocks, pushing backpressure to
+	// the TUN queue, which drops on overflow like a real device.
+	RingSize int
+
 	// Workers selects how many packet-processing workers run. The
 	// paper-faithful default is 1: the single MainWorker thread of
 	// Figure 4, which is what every ablation (Tables 1–4) measures.
@@ -168,6 +190,12 @@ type Config struct {
 	// Seed makes the engine's random choices reproducible.
 	Seed int64
 }
+
+// defaultReadBatch is the burst size used when Config.ReadBatch is
+// zero: large enough to amortise the TUN queue lock across a flood's
+// bursts, small enough that a burst fits comfortably in every worker's
+// ring.
+const defaultReadBatch = 64
 
 // Default returns MopEye's shipped configuration: every §3 optimisation
 // on.

@@ -99,6 +99,12 @@ func New(cfg Config, d Deps) *Engine {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
+	if cfg.ReadBatch <= 0 {
+		cfg.ReadBatch = defaultReadBatch
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = defaultRingSize
+	}
 	if d.Store == nil {
 		d.Store = measure.NewStore()
 	}

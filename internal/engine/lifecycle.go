@@ -24,29 +24,46 @@ func (e *Engine) Start() {
 	e.dev.SetBlocking(e.cfg.ReadMode == ReadBlocking)
 
 	e.udp.start()
-	e.wg.Add(1)
-	go e.tunReader()
 	// The Haystack-style polled main loop is inherently single-threaded;
 	// the sharded pipeline only replaces the event-driven loop.
-	if e.cfg.Workers > 1 && e.cfg.MainLoopPoll <= 0 {
+	if e.multiWorker() {
+		// Batched pipeline: workers first (the reader scatters into
+		// their rings), then the scattering reader and the socket-event
+		// dispatcher, then the batched writer.
 		e.workers = make([]*worker, e.cfg.Workers)
 		for i := range e.workers {
-			e.workers[i] = &worker{id: i, q: newWorkQueue()}
+			e.workers[i] = &worker{id: i, q: newRingQ(e.cfg.RingSize)}
 		}
 		for _, w := range e.workers {
 			e.wg.Add(1)
 			go e.workerLoop(w)
 		}
 		e.wg.Add(1)
+		go e.tunReaderBatched()
+		e.wg.Add(1)
 		go e.dispatcher()
 	} else {
+		// Paper-faithful Figure 4: per-packet TunReader + MainWorker.
+		e.wg.Add(1)
+		go e.tunReader()
 		e.wg.Add(1)
 		go e.mainWorker()
 	}
 	if e.writeQ != nil {
 		e.wg.Add(1)
-		go e.tunWriter()
+		if e.multiWorker() {
+			go e.tunWriterBatched()
+		} else {
+			go e.tunWriter()
+		}
 	}
+}
+
+// multiWorker reports whether the sharded batched pipeline runs (as
+// opposed to the paper-faithful single MainWorker, which every ablation
+// measures and which stays bit-identical to the seed's behaviour).
+func (e *Engine) multiWorker() bool {
+	return e.cfg.Workers > 1 && e.cfg.MainLoopPoll <= 0
 }
 
 // Stop shuts the engine down. A dummy packet releases the blocked

@@ -170,6 +170,73 @@ func (q *packetQueue) takeNewPut() ([]byte, *[]byte, bool) {
 	}
 }
 
+// takeBatch dequeues up to len(dst) packets for the batched TunWriter
+// (the multi-worker emit path): the whole backlog moves in one lock
+// acquisition, so the queue lock is paid once per burst the way the
+// tunnel's WriteBatch pays its locks once per burst. Blocking follows
+// the configured put algorithm — the newPut sleep counter keeps
+// `waiting` false through traffic bursts so producers keep skipping the
+// notify handoff (§3.5.1); oldPut parks in wait() directly. ok is false
+// once the queue is closed and fully drained.
+func (q *packetQueue) takeBatch(dst []outPacket) (int, bool) {
+	if q.newPut {
+		return q.takeBatchNewPut(dst)
+	}
+	return q.takeBatchOldPut(dst)
+}
+
+// drainLocked moves up to len(dst) items out. Caller holds q.mu.
+func (q *packetQueue) drainLocked(dst []outPacket) int {
+	n := copy(dst, q.items)
+	for i := 0; i < n; i++ {
+		q.items[i] = outPacket{}
+	}
+	q.items = q.items[n:]
+	return n
+}
+
+func (q *packetQueue) takeBatchOldPut(dst []outPacket) (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 {
+		if q.closed {
+			return 0, false
+		}
+		q.waiting = true
+		q.cond.Wait()
+		q.waiting = false
+	}
+	return q.drainLocked(dst), true
+}
+
+func (q *packetQueue) takeBatchNewPut(dst []outPacket) (int, bool) {
+	counter := 0
+	for {
+		q.mu.Lock()
+		if len(q.items) > 0 {
+			n := q.drainLocked(dst)
+			q.mu.Unlock()
+			counter /= 2
+			return n, true
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return 0, false
+		}
+		if counter >= q.spinMax {
+			q.waiting = true
+			q.cond.Wait()
+			q.waiting = false
+			counter = 0
+			q.mu.Unlock()
+			continue
+		}
+		q.mu.Unlock()
+		counter++
+		q.clk.SleepFine(q.spinWait)
+	}
+}
+
 func (q *packetQueue) close() {
 	q.mu.Lock()
 	q.closed = true
@@ -208,53 +275,9 @@ func (q *readQueue) pop() ([]byte, bool) {
 	return raw, true
 }
 
-// workQueue is one pinned worker's input FIFO in the sharded pipeline:
-// the dispatcher pushes decoded packets and claimed socket events for
-// the shards this worker owns, and the worker drains them in order —
-// which is exactly what preserves per-flow packet ordering. Unbounded
-// so the dispatcher never blocks behind a slow worker (backpressure
-// already exists upstream in the TUN queue).
-type workQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []workItem
-	closed bool
-}
-
-func newWorkQueue() *workQueue {
-	q := &workQueue{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
-}
-
-func (q *workQueue) push(it workItem) {
-	q.mu.Lock()
-	if !q.closed {
-		q.items = append(q.items, it)
-		q.cond.Signal()
-	}
-	q.mu.Unlock()
-}
-
-// take blocks until an item is available or the queue is closed and
-// fully drained.
-func (q *workQueue) take() (workItem, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.items) == 0 {
-		if q.closed {
-			return workItem{}, false
-		}
-		q.cond.Wait()
-	}
-	it := q.items[0]
-	q.items = q.items[1:]
-	return it, true
-}
-
-func (q *workQueue) close() {
-	q.mu.Lock()
-	q.closed = true
-	q.cond.Broadcast()
-	q.mu.Unlock()
-}
+// The per-worker input queues of the sharded pipeline live in ringq.go:
+// a bounded SPSC ring for tunnel packets (fed by the batched reader)
+// plus a low-rate event lane for socket readiness (fed by the
+// dispatcher). They replaced the shared-mutex workQueue this file used
+// to define — the PR 2 loopback-ceiling profile showed that queue's
+// locks as the top engine hotspot.

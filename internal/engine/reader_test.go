@@ -37,6 +37,70 @@ func TestPollPolicyBurstsAfterActivity(t *testing.T) {
 	}
 }
 
+// TestPollPolicyZeroBurstNeverSpinsShort pins the burstMax == 0 fix: a
+// zero burst budget must behave as plain long-interval polling — in
+// particular onSuccess must not hand out short-interval credit that
+// nothing would ever decay, which would pin a misconfigured adaptive
+// poller to the short interval forever.
+func TestPollPolicyZeroBurstNeverSpinsShort(t *testing.T) {
+	p := newPollPolicy(time.Millisecond, 100*time.Millisecond, 0)
+	for round := 0; round < 3; round++ {
+		p.onSuccess()
+		for i := 0; i < 5; i++ {
+			if d := p.onEmpty(); d != 100*time.Millisecond {
+				t.Fatalf("round %d empty poll %d slept %v, want the long interval", round, i, d)
+			}
+		}
+	}
+	// Even a stale positive budget (a burst window reconfigured away
+	// mid-flight) must decay instantly to the long interval.
+	p.burst = 7
+	if d := p.onEmpty(); d != 100*time.Millisecond {
+		t.Fatalf("stale budget with burstMax=0 slept %v, want the long interval", d)
+	}
+	if p.burst != 0 {
+		t.Fatalf("stale budget not cleared: %d", p.burst)
+	}
+}
+
+// TestPollPolicyNegativeBurstNormalised pins the constructor guard:
+// negative budgets (Config.PollBurst < 0 disables bursting) behave like
+// zero.
+func TestPollPolicyNegativeBurstNormalised(t *testing.T) {
+	p := newPollPolicy(time.Millisecond, 50*time.Millisecond, -3)
+	p.onSuccess()
+	if d := p.onEmpty(); d != 50*time.Millisecond {
+		t.Fatalf("negative burstMax slept %v, want the long interval", d)
+	}
+}
+
+// TestPollPolicyBackOffSchedule pins the full schedule end to end:
+// success → burstMax shorts → long, long, ... → success refills.
+func TestPollPolicyBackOffSchedule(t *testing.T) {
+	p := newPollPolicy(time.Millisecond, 80*time.Millisecond, 2)
+	want := []time.Duration{
+		80 * time.Millisecond, // idle from the start: no budget
+	}
+	var got []time.Duration
+	got = append(got, p.onEmpty())
+	p.onSuccess()
+	want = append(want,
+		time.Millisecond, time.Millisecond, // the burst window
+		80*time.Millisecond, 80*time.Millisecond, // backed off
+	)
+	for i := 0; i < 4; i++ {
+		got = append(got, p.onEmpty())
+	}
+	p.onSuccess()
+	want = append(want, time.Millisecond) // refilled
+	got = append(got, p.onEmpty())
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("schedule step %d slept %v, want %v (full schedule %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
 func TestPollPolicySuccessRefillsBurst(t *testing.T) {
 	p := newPollPolicy(time.Millisecond, 100*time.Millisecond, 2)
 	p.onSuccess()

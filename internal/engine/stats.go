@@ -33,6 +33,14 @@ type Stats struct {
 	UDPBytesUp   int64
 	UDPBytesDown int64
 
+	// ReadBatches counts burst reads on the multi-worker batched read
+	// path; BatchedPackets is the packets those bursts carried, so
+	// BatchedPackets/ReadBatches is the realised burst size (1.0 means
+	// batching bought nothing). Both stay zero on the paper-faithful
+	// single-worker path.
+	ReadBatches    int
+	BatchedPackets int
+
 	// WriteHist is the tunnel-write delay as observed by the writing
 	// thread; PutHist is the enqueue delay (Table 1).
 	WriteHist stats.DelayHistogram
@@ -63,6 +71,8 @@ type counters struct {
 	udpDropped      atomic.Int64
 	udpBytesUp      atomic.Int64
 	udpBytesDown    atomic.Int64
+	readBatches     atomic.Int64
+	batchedPackets  atomic.Int64
 }
 
 // Stats snapshots the engine counters, folding in mapper and queue
@@ -89,6 +99,8 @@ func (e *Engine) Stats() Stats {
 		UDPDropped:      int(e.ctr.udpDropped.Load()),
 		UDPBytesUp:      e.ctr.udpBytesUp.Load(),
 		UDPBytesDown:    e.ctr.udpBytesDown.Load(),
+		ReadBatches:     int(e.ctr.readBatches.Load()),
+		BatchedPackets:  int(e.ctr.batchedPackets.Load()),
 	}
 	e.histMu.Lock()
 	s.WriteHist = e.writeHist

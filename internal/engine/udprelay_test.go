@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/netip"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -130,6 +131,114 @@ func TestUDPSessionReuseAndExpiry(t *testing.T) {
 	}
 	if _, _, err := u.Recv(5 * time.Second); err != nil {
 		t.Fatalf("recv after expiry: %v", err)
+	}
+}
+
+// TestUDPRelaySameFlowDropAccountingExact is the -race stress for the
+// pooled relay's accounting contract: a flood of datagrams on ONE flow
+// (so every packet reuses the same NAT session, from concurrent sender
+// goroutines, through concurrent pool workers sharing that session's
+// socket) must satisfy, exactly,
+//
+//	UDPRelayed + UDPDropped == datagrams sent
+//
+// — no drop lost, none double-counted, no response counted twice. The
+// drops are made deterministic instead of load-dependent: the echo
+// service blocks on a gate, so the pool wedges, the bounded job queue
+// fills, and every further datagram must take the drop path; releasing
+// the gate drains the queue and every accepted datagram must then be
+// counted as relayed.
+func TestUDPRelaySameFlowDropAccountingExact(t *testing.T) {
+	const (
+		senders   = 4
+		perSender = 400
+		total     = senders * perSender
+	)
+
+	clk := clock.NewReal()
+	net := netsim.New(clk, netsim.LinkParams{}, 1)
+	net.SetLoopback(true)
+	defer net.Close()
+	gate := make(chan struct{})
+	echoPort := netip.MustParseAddrPort("203.0.113.90:7070")
+	net.HandleUDP(echoPort, 0, func(req []byte, from netip.AddrPort) []byte {
+		<-gate // wedge the pool worker until the flood has fully landed
+		return req
+	})
+
+	dev := tun.New(clk, 8192) // deeper than the flood: no TUN-side drops
+	defer dev.Close()
+	table := procnet.NewTable()
+	pm := procnet.NewPackageManager()
+	pm.Install(uidApp, appName)
+	phone := phonestack.New(clk, dev, phoneVPNAddr, table, 2)
+	defer phone.Close()
+	prov := sockets.NewProvider(net, clk, phoneWANAddr, sockets.ZeroCosts(), 3)
+	reader := procnet.NewReader(table, clk, procnet.ZeroParseCost(), 4)
+
+	cfg := engine.Default()
+	cfg.Workers = 4
+	cfg.UDPPoolSize = 2
+	eng := engine.New(cfg, engine.Deps{
+		Clock: clk, Device: dev, Sockets: prov, ProcNet: reader, Packages: pm,
+	})
+	eng.Start()
+	defer eng.Stop()
+
+	u, err := phone.OpenUDP(uidApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				if err := u.SendTo(echoPort, []byte("same-flow")); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Every datagram must reach the relay (accepted into the queue or
+	// counted as dropped) before the gate opens; accounting may never
+	// run ahead of the traffic.
+	waitFor(t, 10*time.Second, func() bool {
+		st := eng.Stats()
+		if st.UDPRelayed+st.UDPDropped > total {
+			t.Fatalf("accounting overshot mid-flood: relayed %d + dropped %d > sent %d",
+				st.UDPRelayed, st.UDPDropped, total)
+		}
+		return st.PacketsFromTun >= total
+	}, "flood to reach the relay")
+	if st := eng.Stats(); st.UDPDropped == 0 {
+		t.Fatalf("wedged pool produced no drops (relayed %d): the drop path was not exercised", st.UDPRelayed)
+	}
+
+	close(gate)
+	waitFor(t, 10*time.Second, func() bool {
+		st := eng.Stats()
+		if st.UDPRelayed+st.UDPDropped > total {
+			t.Fatalf("accounting overshot: relayed %d + dropped %d > sent %d",
+				st.UDPRelayed, st.UDPDropped, total)
+		}
+		return st.UDPRelayed+st.UDPDropped == total
+	}, "exact relayed+dropped accounting")
+	// Settle and re-check: a double count would keep drifting.
+	time.Sleep(100 * time.Millisecond)
+	st := eng.Stats()
+	if st.UDPRelayed+st.UDPDropped != total {
+		t.Errorf("accounting drifted after settling: relayed %d + dropped %d != sent %d",
+			st.UDPRelayed, st.UDPDropped, total)
+	}
+	if got := eng.ActiveUDPSessions(); got != 1 {
+		t.Errorf("%d NAT sessions for one flow, want 1", got)
 	}
 }
 

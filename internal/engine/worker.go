@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"repro/internal/packet"
 	"repro/internal/relay"
 	"repro/internal/sockets"
 )
@@ -14,17 +13,18 @@ import (
 //     queue (§3.2). This is the fidelity-preserving default; the
 //     ablation results are produced on this path.
 //
-//   - Workers > 1: a sharded pipeline. The dispatcher runs the selector
-//     loop, but instead of handling events it routes each one to the
-//     worker that owns the flow's shard (flowtable.Shard % Workers).
-//     All events of a flow — tunnel packets and socket readiness alike
-//     — serialise through that worker's FIFO queue, so per-flow packet
-//     ordering is preserved while distinct flows proceed in parallel.
+//   - Workers > 1: a sharded pipeline. The batched TunReader peeks each
+//     packet's flow key and scatters bursts straight into the per-worker
+//     SPSC rings (reader.go); the dispatcher runs the selector loop and
+//     routes socket-readiness events to the same workers' event lanes.
+//     All events of a flow land in one worker's queue pair and are
+//     drained by that one worker, so per-flow packet ordering is
+//     preserved while distinct flows proceed in parallel.
 
 // worker is one pinned packet-processing thread.
 type worker struct {
 	id int
-	q  *workQueue
+	q  *ringQ
 }
 
 // workItem is one unit routed to a worker: either a raw tunnel packet
@@ -59,54 +59,34 @@ func (e *Engine) workerLoop(w *worker) {
 	}
 }
 
-// dispatcher is the multi-worker selector loop: the same interleaved
-// Select/drain structure as mainWorker, but each event is routed to its
-// flow's pinned worker instead of being handled inline.
+// dispatcher is the multi-worker selector loop. Tunnel packets no
+// longer pass through it — the batched reader scatters them straight to
+// the workers' rings — so all that remains is routing socket-readiness
+// events to each flow's pinned worker.
 func (e *Engine) dispatcher() {
 	defer e.wg.Done()
-	// Closing the queues releases the workers once they have drained.
+	// Closing the event lanes (the reader closes the packet lanes)
+	// releases the workers once they have drained.
 	defer func() {
 		for _, w := range e.workers {
-			w.q.close()
+			w.q.closeEvents()
 		}
 	}()
 	for e.isRunning() {
-		keys := e.sel.Select()
-		for {
-			progress := false
-			for _, k := range keys {
-				if e.routeKey(k) {
-					progress = true
-				}
-			}
-			keys = keys[:0]
-			for i := 0; i < 64; i++ {
-				raw, ok := e.readQ.pop()
-				if !ok {
-					break
-				}
-				e.routePacket(raw)
-				progress = true
-			}
-			if !progress {
-				break
-			}
-			if !e.isRunning() {
-				return
-			}
-			keys = e.sel.SelectTimeout(0)
+		for _, k := range e.sel.Select() {
+			e.routeKey(k)
 		}
 	}
 }
 
 // routeKey claims a key's readiness and hands it to the owning worker.
 // The dispatcher must consume ReadyOps here: readiness left on the key
-// would make the next zero-timeout Select return the same key again and
-// spin the dispatcher while the worker catches up.
-func (e *Engine) routeKey(k *sockets.SelectionKey) bool {
+// would make the next Select return the same key again and spin the
+// dispatcher while the worker catches up.
+func (e *Engine) routeKey(k *sockets.SelectionKey) {
 	ready := k.ReadyOps()
 	if ready == 0 {
-		return false
+		return
 	}
 	var cl *relay.TCPClient
 	switch a := k.Attachment().(type) {
@@ -115,29 +95,12 @@ func (e *Engine) routeKey(k *sockets.SelectionKey) bool {
 	case *eventConnect:
 		cl = a.client
 	default:
-		return false
-	}
-	if cl == nil {
-		return false
-	}
-	e.workerFor(cl.Shard).q.push(workItem{key: k, ready: ready})
-	return true
-}
-
-// routePacket hands one raw tunnel packet to the worker pinned to its
-// flow. Routing needs only the flow key, so the dispatcher peeks it
-// straight out of the header bytes — no decode, no copy, no allocation
-// (packet.PeekFlowKey) — and the full Decode happens on the owning
-// worker, off the dispatch hot path. PeekFlowKey applies exactly
-// Decode's structural validation, so a packet rejected here (counted
-// as a decode error) is one the worker would have rejected anyway.
-func (e *Engine) routePacket(raw []byte) {
-	key, err := packet.PeekFlowKey(raw)
-	if err != nil {
-		e.ctr.decodeErrors.Add(1)
 		return
 	}
-	e.workerFor(e.flows.Shard(key)).q.push(workItem{raw: raw})
+	if cl == nil {
+		return
+	}
+	e.workerFor(cl.Shard).q.pushEvent(workItem{key: k, ready: ready})
 }
 
 // mainWorker is the single packet-processing thread (Figure 4): one

@@ -27,6 +27,13 @@ type Table1Options struct {
 	Pages        int
 	ConnsPerPage int
 	Seed         int64
+	// Workers selects the engine core: 0/1 is the paper-faithful
+	// MainWorker every recorded ablation uses; N > 1 runs the browsing
+	// workload through the sharded batched pipeline. The deterministic
+	// Table 1 columns (the Total row — packet counts, not delays) must
+	// not change with the worker count; the golden determinism test
+	// pins that, guarding every dispatch/queue refactor.
+	Workers int
 }
 
 // DefaultTable1Options mirrors a browsing session long enough for the
@@ -46,6 +53,9 @@ func RunTable1(o Table1Options) (*Table1Result, error) {
 		cfg := engine.Default()
 		cfg.WriteScheme = scheme
 		cfg.Seed = seed
+		if o.Workers > 1 {
+			cfg.Workers = o.Workers
+		}
 		bed, err := testbed.New(testbed.Options{
 			Engine:       cfg,
 			EngineSet:    true,
@@ -63,8 +73,26 @@ func RunTable1(o Table1Options) (*Table1Result, error) {
 		if _, fails := browse(bed, o.Pages, o.ConnsPerPage, "site.example", server); fails > o.Pages*o.ConnsPerPage/4 {
 			return engine.Stats{}, fmt.Errorf("table1: %d connect failures", fails)
 		}
-		// Let in-flight teardown writes land before reading counters.
-		time.Sleep(50 * time.Millisecond)
+		// Let in-flight teardown writes land before reading counters:
+		// wait until every client is torn down and the write counter has
+		// been stable across several samples (a fixed sleep undercounts
+		// on a loaded host, and a single stable sample can straddle one
+		// AndroidWriteCost spike of up to ~23 ms — either would make the
+		// totals nondeterministic).
+		deadline := time.Now().Add(3 * time.Second)
+		last, stable := -1, 0
+		for time.Now().Before(deadline) {
+			st := bed.Eng.Stats()
+			if bed.Eng.ActiveClients() == 0 && st.PacketsToTun == last {
+				if stable++; stable >= 3 { // ~75 ms quiet, past any write stall
+					break
+				}
+			} else {
+				stable = 0
+			}
+			last = st.PacketsToTun
+			time.Sleep(25 * time.Millisecond)
+		}
 		return bed.Eng.Stats(), nil
 	}
 

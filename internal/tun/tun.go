@@ -95,6 +95,45 @@ func (f *fifo) take(block bool) (queued, error) {
 	return q, nil
 }
 
+// takeBatch removes up to len(dst) queued packets in one lock
+// acquisition. Blocking semantics match take for the first packet; the
+// rest of the burst is whatever is already queued, never an extra wait.
+func (f *fifo) takeBatch(dst []queued, block bool) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.items) == 0 {
+		if f.closed {
+			return 0, ErrClosed
+		}
+		if !block {
+			return 0, ErrWouldBlock
+		}
+		f.cond.Wait()
+	}
+	n := copy(dst, f.items)
+	f.items = f.items[n:]
+	return n, nil
+}
+
+// putBatch appends a burst under one lock, dropping on overflow exactly
+// like per-packet put does.
+func (f *fifo) putBatch(qs []queued) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	for _, q := range qs {
+		if len(f.items) >= f.max {
+			f.drops++
+			continue
+		}
+		f.items = append(f.items, q)
+	}
+	f.cond.Broadcast()
+	return nil
+}
+
 func (f *fifo) len() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -148,6 +187,15 @@ type Device struct {
 	writeMu   sync.Mutex
 	writeCost func(*rand.Rand) time.Duration
 	writeRng  *rand.Rand
+
+	// batchMu guards the ReadBatch scratch (one reader thread in
+	// practice; the mutex keeps the API safe for concurrent callers
+	// without allocating a scratch per call).
+	batchMu      sync.Mutex
+	batchScratch []queued
+
+	// wbScratch is the WriteBatch staging area, guarded by writeMu.
+	wbScratch []queued
 }
 
 // New creates a TUN device with the given queue capacity per direction.
@@ -206,6 +254,61 @@ func (d *Device) Read() ([]byte, error) {
 	return q.data, nil
 }
 
+// ReadBatch retrieves up to len(dst) outgoing app packets in one call —
+// the emulated equivalent of a batched read (readv/recvmmsg): the queue
+// lock, the blocking/poll decision, and the stats update are paid once
+// per burst instead of once per packet. Semantics match Read: in
+// blocking mode the call waits for the first packet; in non-blocking
+// mode an empty queue returns ErrWouldBlock and counts one empty read
+// (one futile wakeup — the poll schedule is per burst, not per packet).
+// Once one packet is available the rest of the burst is whatever is
+// already queued, never an extra wait. Per-packet retrieval delay is
+// measured at the burst's retrieval instant.
+func (d *Device) ReadBatch(dst [][]byte) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	d.batchMu.Lock()
+	if cap(d.batchScratch) < len(dst) {
+		d.batchScratch = make([]queued, len(dst))
+	}
+	scratch := d.batchScratch[:len(dst)]
+	n, err := d.outbound.takeBatch(scratch, d.Blocking())
+	if err != nil {
+		d.batchMu.Unlock()
+		if errors.Is(err, ErrWouldBlock) {
+			d.mu.Lock()
+			d.stats.EmptyReads++
+			d.mu.Unlock()
+		}
+		return 0, err
+	}
+	now := d.clk.Nanos()
+	var bytes int64
+	var delaySum, delayMax time.Duration
+	for i := 0; i < n; i++ {
+		dst[i] = scratch[i].data
+		bytes += int64(len(dst[i]))
+		if delay := time.Duration(now - scratch[i].enqueued); delay >= 0 {
+			delaySum += delay
+			if delay > delayMax {
+				delayMax = delay
+			}
+		}
+		scratch[i] = queued{} // drop the reference; ownership moved to dst
+	}
+	d.batchMu.Unlock()
+	d.mu.Lock()
+	d.stats.PacketsOut += n
+	d.stats.BytesOut += bytes
+	d.stats.ReadDelaySum += delaySum
+	if delayMax > d.stats.ReadDelayMax {
+		d.stats.ReadDelayMax = delayMax
+	}
+	d.mu.Unlock()
+	return n, nil
+}
+
 // SetWriteCost installs a per-write syscall cost model, drawn once per
 // Write while holding the single-tunnel write lock. This is the cost
 // Table 1 measures: on Android a tunnel write usually takes ~0.1 ms but
@@ -259,6 +362,59 @@ func (d *Device) Write(pkt []byte) error {
 	d.stats.BytesIn += int64(len(pkt))
 	d.mu.Unlock()
 	return nil
+}
+
+// WriteBatch sends a burst of packets to the phone side, serialising
+// once on the single tunnel instead of once per packet and delivering
+// the whole burst into the inbound queue under one lock. The per-write
+// syscall cost model is still charged per packet — batching amortises
+// queue locking, not the modelled kernel work. Packets fail
+// independently, matching a loop of per-packet Writes: an oversized
+// packet is skipped (and reported via the returned error) while the
+// rest of the burst is still delivered — ACKs and FINs of other flows
+// must not be lost to one bad packet. It returns how many packets were
+// delivered and the first per-packet error.
+func (d *Device) WriteBatch(pkts [][]byte) (int, error) {
+	if len(pkts) == 0 {
+		return 0, nil
+	}
+	d.writeMu.Lock()
+	if cap(d.wbScratch) < len(pkts) {
+		d.wbScratch = make([]queued, len(pkts))
+	}
+	staged := d.wbScratch[:0]
+	var bytes int64
+	var ferr error
+	for _, pkt := range pkts {
+		if len(pkt) > MTU {
+			if ferr == nil {
+				ferr = ErrTooBig
+			}
+			continue
+		}
+		if d.writeCost != nil {
+			if c := d.writeCost(d.writeRng); c > 0 {
+				d.clk.SleepFine(c)
+			}
+		}
+		cp := append([]byte(nil), pkt...)
+		staged = append(staged, queued{data: cp, enqueued: d.clk.Nanos()})
+		bytes += int64(len(pkt))
+	}
+	n := len(staged)
+	err := d.inbound.putBatch(staged)
+	for i := range staged {
+		staged[i] = queued{}
+	}
+	d.writeMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	d.mu.Lock()
+	d.stats.PacketsIn += n
+	d.stats.BytesIn += bytes
+	d.mu.Unlock()
+	return n, ferr
 }
 
 // InjectOutbound is the kernel-side entry point: the phone stack routes

@@ -202,6 +202,177 @@ func TestWriteContentionSerialised(t *testing.T) {
 	}
 }
 
+func TestReadBatchDrainsBurstInOrder(t *testing.T) {
+	d := newDev()
+	defer d.Close()
+	for i := 0; i < 10; i++ {
+		_ = d.InjectOutbound([]byte{byte(i)})
+	}
+	d.SetBlocking(true)
+	batch := make([][]byte, 4)
+	var got []byte
+	for len(got) < 10 {
+		n, err := d.ReadBatch(batch)
+		if err != nil {
+			t.Fatalf("batch read: %v", err)
+		}
+		for i := 0; i < n; i++ {
+			got = append(got, batch[i][0])
+		}
+	}
+	for i, b := range got {
+		if b != byte(i) {
+			t.Fatalf("order violated at %d: got %d", i, b)
+		}
+	}
+	s := d.Stats()
+	if s.PacketsOut != 10 || s.BytesOut != 10 {
+		t.Errorf("stats after batch reads: %+v", s)
+	}
+}
+
+func TestReadBatchNonBlockingEmpty(t *testing.T) {
+	d := newDev()
+	defer d.Close()
+	batch := make([][]byte, 8)
+	if _, err := d.ReadBatch(batch); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("got %v, want ErrWouldBlock", err)
+	}
+	// One burst, one futile wakeup — not one per slot.
+	if d.Stats().EmptyReads != 1 {
+		t.Errorf("EmptyReads = %d, want 1", d.Stats().EmptyReads)
+	}
+}
+
+func TestReadBatchBlockingWaitsForFirstOnly(t *testing.T) {
+	d := newDev()
+	defer d.Close()
+	d.SetBlocking(true)
+	got := make(chan int, 1)
+	go func() {
+		batch := make([][]byte, 8)
+		n, err := d.ReadBatch(batch)
+		if err != nil {
+			got <- -1
+			return
+		}
+		got <- n
+	}()
+	time.Sleep(5 * time.Millisecond)
+	_ = d.InjectOutbound([]byte{1})
+	select {
+	case n := <-got:
+		// The burst returns with whatever was queued when the first
+		// packet arrived; it never waits to fill the batch.
+		if n < 1 {
+			t.Fatalf("batch read returned %d", n)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocking batch read never returned")
+	}
+}
+
+func TestReadBatchCloseWakes(t *testing.T) {
+	d := newDev()
+	d.SetBlocking(true)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := d.ReadBatch(make([][]byte, 4))
+		errCh <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	d.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("got %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not wake batch reader")
+	}
+}
+
+func TestWriteBatchDeliversInOrder(t *testing.T) {
+	d := newDev()
+	defer d.Close()
+	pkts := [][]byte{{1}, {2, 2}, {3, 3, 3}}
+	n, err := d.WriteBatch(pkts)
+	if err != nil || n != 3 {
+		t.Fatalf("WriteBatch = %d, %v", n, err)
+	}
+	for i := 0; i < 3; i++ {
+		pkt, err := d.ReadInbound()
+		if err != nil {
+			t.Fatalf("read inbound %d: %v", i, err)
+		}
+		if len(pkt) != i+1 || pkt[0] != byte(i+1) {
+			t.Errorf("packet %d: %v", i, pkt)
+		}
+	}
+	s := d.Stats()
+	if s.PacketsIn != 3 || s.BytesIn != 6 {
+		t.Errorf("stats after batch write: %+v", s)
+	}
+}
+
+func TestWriteBatchSkipsOversizedDeliversRest(t *testing.T) {
+	d := newDev()
+	defer d.Close()
+	big := make([]byte, MTU+1)
+	n, err := d.WriteBatch([][]byte{{1}, big, {2}})
+	if !errors.Is(err, ErrTooBig) {
+		t.Fatalf("err = %v, want ErrTooBig", err)
+	}
+	// Packets fail independently, like a loop of per-packet Writes: the
+	// oversized one is skipped, the others still arrive in order.
+	if n != 2 {
+		t.Errorf("delivered %d packets, want 2", n)
+	}
+	for _, want := range []byte{1, 2} {
+		pkt, rerr := d.ReadInbound()
+		if rerr != nil {
+			t.Fatalf("read inbound: %v", rerr)
+		}
+		if pkt[0] != want {
+			t.Errorf("got packet %v, want [%d]", pkt, want)
+		}
+	}
+}
+
+func TestWriteBatchChargesCostPerPacket(t *testing.T) {
+	clk := clock.NewReal()
+	d := New(clk, 16)
+	defer d.Close()
+	d.SetWriteCost(func(r *rand.Rand) time.Duration { return 2 * time.Millisecond }, 1)
+	start := time.Now()
+	if _, err := d.WriteBatch([][]byte{{1}, {2}, {3}}); err != nil {
+		t.Fatalf("write batch: %v", err)
+	}
+	// Batching amortises queue locks, not the modelled kernel work:
+	// three packets still cost three writes' worth of syscall time.
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Errorf("batch of 3 cost %v, want ≥ ~6ms (per-packet cost model)", elapsed)
+	}
+}
+
+func TestWriteBatchOverflowDrops(t *testing.T) {
+	d := New(clock.NewReal(), 2)
+	defer d.Close()
+	pkts := make([][]byte, 5)
+	for i := range pkts {
+		pkts[i] = []byte{byte(i)}
+	}
+	if _, err := d.WriteBatch(pkts); err != nil {
+		t.Fatalf("write batch: %v", err)
+	}
+	if d.InboundLen() != 2 {
+		t.Errorf("inbound len = %d, want 2", d.InboundLen())
+	}
+	if d.Stats().Drops != 3 {
+		t.Errorf("drops = %d, want 3", d.Stats().Drops)
+	}
+}
+
 func TestAndroidWriteCostDistribution(t *testing.T) {
 	f := AndroidWriteCost()
 	r := rand.New(rand.NewSource(42))

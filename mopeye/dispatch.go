@@ -38,6 +38,11 @@ type DispatchBenchOptions struct {
 	// UDPPerConn is how many datagrams each connection's goroutine
 	// fires at the loopback UDP echo service.
 	UDPPerConn int
+	// ReadBatch sets the engine's burst size for the run: 0 keeps the
+	// engine default (64), 1 disables batching — sweeping it isolates
+	// what burst reads buy at the ceiling (`paperbench -exp dispatch
+	// -readbatch 1,64`).
+	ReadBatch int
 }
 
 // DefaultDispatchBenchOptions returns a flood heavy enough to saturate
@@ -129,7 +134,7 @@ func runDispatchOnce(o DispatchBenchOptions, workers int) (DispatchBenchRow, err
 			Addr:   fmt.Sprintf("203.0.113.%d:80", 10+i),
 		}
 	}
-	phone, err := New(Options{Servers: servers, Workers: workers, Loopback: true})
+	phone, err := New(Options{Servers: servers, Workers: workers, ReadBatch: o.ReadBatch, Loopback: true})
 	if err != nil {
 		return DispatchBenchRow{}, err
 	}

@@ -1,0 +1,52 @@
+package mopeye
+
+import (
+	"fmt"
+	"testing"
+)
+
+// table1Totals projects the deterministic columns out of a Table 1 run:
+// the Total row. The delay buckets are real-time measurements and move
+// with host load, but the totals are packet counts fixed by the
+// workload — every request, response segment, ACK, and FIN the relay
+// emits is the same no matter how the engine core is shaped.
+func table1Totals(r *Table1Result) string {
+	return fmt.Sprintf("directWrite=%d queueWrite=%d oldPut=%d newPut=%d",
+		r.DirectWrite.Total, r.QueueWrite.Total, r.OldPut.Total, r.NewPut.Total)
+}
+
+// TestGoldenTable1DeterministicAcrossWorkers is the golden determinism
+// guard: the full Table 1 ablation scenario (three engine runs across
+// the write schemes, browsing workload, Android write-cost model) run
+// at Workers=1 (the paper-faithful MainWorker) and at Workers=4 (the
+// sharded pipeline with batched reads, per-worker SPSC rings, and
+// batched writes) must produce byte-identical deterministic columns.
+// Any future dispatch or queue refactor that drops, duplicates, or
+// reorders per-flow packets shifts these totals and fails here.
+func TestGoldenTable1DeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) string {
+		t.Helper()
+		o := DefaultTable1Options()
+		o.Pages = 4
+		o.ConnsPerPage = 6
+		o.Workers = workers
+		res, err := RunTable1(o)
+		if err != nil {
+			t.Fatalf("table1 at workers=%d: %v", workers, err)
+		}
+		return table1Totals(res)
+	}
+
+	single := run(1)
+	sharded := run(4)
+	if single != sharded {
+		t.Errorf("Table 1 deterministic columns diverge across engine cores:\n workers=1: %s\n workers=4: %s",
+			single, sharded)
+	}
+
+	// The guard is only as good as the workload's own determinism: a
+	// second single-worker run must reproduce the first bit for bit.
+	if again := run(1); again != single {
+		t.Errorf("Table 1 totals not reproducible at workers=1:\n first:  %s\n second: %s", single, again)
+	}
+}

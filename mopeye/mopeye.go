@@ -90,6 +90,12 @@ type Options struct {
 	// default); N > 1 runs the sharded multi-worker pipeline with each
 	// flow pinned to one worker.
 	Workers int
+	// ReadBatch overrides the multi-worker burst size: how many tunnel
+	// packets the reader retrieves per batched read and the writer
+	// flushes per batched write. 0 keeps the engine default (64); 1
+	// disables batching (the ablation value). Ignored at Workers=1,
+	// which always runs the paper's per-packet read loop.
+	ReadBatch int
 	// RealisticCosts enables the Android cost models (protect/register/
 	// dispatch latency, proc parse cost, tunnel write cost). Off by
 	// default for deterministic behaviour.
@@ -129,6 +135,9 @@ func New(o Options) (*Phone, error) {
 	}
 	if o.Workers > 0 {
 		cfg.Workers = o.Workers
+	}
+	if o.ReadBatch > 0 {
+		cfg.ReadBatch = o.ReadBatch
 	}
 	opts := testbed.Options{
 		Engine:     cfg,

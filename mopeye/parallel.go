@@ -31,6 +31,9 @@ type ParallelBenchOptions struct {
 	// RTTMillis is the simulated path RTT to every server; kept small
 	// so the engine, not the wire, is the bottleneck.
 	RTTMillis float64
+	// ReadBatch sets the engine's burst size for the run: 0 keeps the
+	// engine default, 1 disables batching.
+	ReadBatch int
 }
 
 // DefaultParallelBenchOptions returns a flood heavy enough that worker
@@ -120,7 +123,7 @@ func runParallelOnce(o ParallelBenchOptions, workers int) (ParallelBenchRow, err
 			RTTMillis: o.RTTMillis,
 		}
 	}
-	phone, err := New(Options{Servers: servers, Workers: workers})
+	phone, err := New(Options{Servers: servers, Workers: workers, ReadBatch: o.ReadBatch})
 	if err != nil {
 		return ParallelBenchRow{}, err
 	}
