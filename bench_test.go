@@ -422,6 +422,41 @@ func BenchmarkEngineCeilingReadBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkSubscribeOverhead is the streaming pipeline's ceiling
+// guard: the Workers=4 loopback flood with 0, 1 and 8 live
+// measurement subscribers attached. subs=0 is the zero-subscriber
+// publish path (allocation-free, pinned by measure's 0-allocs test)
+// and must sit within noise of BenchmarkEngineCeiling/workers=4 — the
+// broadcast layer may not tax an engine nobody is listening to. The
+// subs=1/8 rows record what bounded fan-out costs when someone is.
+func BenchmarkSubscribeOverhead(b *testing.B) {
+	for _, subs := range []int{0, 1, 8} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			o := mopeye.DefaultDispatchBenchOptions()
+			o.WorkerCounts = []int{4}
+			o.Subscribers = subs
+			var pktsPerSec float64
+			var streamed, dropped int
+			for i := 0; i < b.N; i++ {
+				res, err := mopeye.RunDispatchBench(o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				row := res.Rows[0]
+				if row.Errors > 0 {
+					b.Fatalf("flood errors: %d", row.Errors)
+				}
+				pktsPerSec = row.PacketsPerSec
+				streamed = row.Streamed
+				dropped = row.StreamDropped
+			}
+			b.ReportMetric(pktsPerSec, "pkts/sec")
+			b.ReportMetric(float64(streamed), "streamed/run")
+			b.ReportMetric(float64(dropped), "stream-drops/run")
+		})
+	}
+}
+
 // BenchmarkAblationConnectLatency compares the app-observed connect
 // latency across engine variants — the ablation DESIGN.md calls out:
 // MopEye's defaults vs the ToyVpn-style unoptimised relay vs the

@@ -2,14 +2,22 @@
 // workload and prints the opportunistic per-app measurements, like
 // watching the app's all-app view (Figure 1a) fill up.
 //
+// With -follow each measurement is printed live as the engine records
+// it (the streaming Subscribe API); with -jsonl the measurement
+// stream goes to stdout as JSON Lines — one object per record, ready
+// to pipe into jq or a collector — and the human-readable report
+// moves to stderr. The two compose: `mopeye -follow -jsonl | jq .rtt_ns`.
+//
 // Usage:
 //
-//	mopeye [-apps N] [-conns N] [-pages N] [-realistic] [-variant mopeye|toyvpn|haystack] [-workers N] [-readbatch N]
+//	mopeye [-apps N] [-conns N] [-pages N] [-realistic] [-variant mopeye|toyvpn|haystack] [-workers N] [-readbatch N] [-follow] [-jsonl]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -29,6 +37,8 @@ func main() {
 	variant := flag.String("variant", "mopeye", "engine variant: mopeye, toyvpn or haystack")
 	workers := flag.Int("workers", 1, "packet-processing workers (1 = paper-faithful MainWorker)")
 	readbatch := flag.Int("readbatch", 0, "multi-worker read/write burst size (0 = default 64, 1 = batching off)")
+	follow := flag.Bool("follow", false, "print each measurement live as the engine records it")
+	jsonl := flag.Bool("jsonl", false, "stream measurements to stdout as JSON Lines (report moves to stderr)")
 	flag.Parse()
 
 	var cfg engine.Config
@@ -63,6 +73,31 @@ func main() {
 	}
 	defer phone.Close()
 
+	// The human-readable report: stdout normally, stderr when stdout
+	// carries the JSONL measurement stream.
+	var out io.Writer = os.Stdout
+	if *jsonl {
+		out = os.Stderr
+		if _, err := phone.Attach(mopeye.NewJSONLSink(os.Stdout)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	followDone := make(chan struct{})
+	close(followDone)
+	if *follow {
+		// Subscribe registers before returning, so every measurement
+		// the workload produces is observed — no startup race.
+		stream := phone.Subscribe(context.Background(), mopeye.Filter{})
+		followDone = make(chan struct{})
+		go func() {
+			defer close(followDone)
+			for m := range stream {
+				fmt.Fprintf(out, "%s %-4s %-36s -> %-21s %8.1f ms\n",
+					m.At.Format("15:04:05.000"), m.Kind, m.App, m.Dst, m.RTT.Seconds()*1000)
+			}
+		}()
+	}
+
 	pkgs := []string{
 		"com.facebook.katana", "com.google.android.youtube",
 		"com.whatsapp", "com.amazon.shopping", "com.google.android.apps.maps",
@@ -74,7 +109,7 @@ func main() {
 		phone.InstallApp(10001+i, pkgs[i])
 	}
 
-	fmt.Printf("running %s engine (%d workers): %d apps x %d rounds x %d connections...\n",
+	fmt.Fprintf(out, "running %s engine (%d workers): %d apps x %d rounds x %d connections...\n",
 		*variant, *workers, *apps, *pages, *conns)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -109,14 +144,20 @@ func main() {
 	wg.Wait()
 	time.Sleep(200 * time.Millisecond)
 
+	// Close ends the live streams (follow printer, JSONL sink) after
+	// they have delivered every measurement; the snapshot accessors
+	// below keep working on the closed phone.
+	phone.Close()
+	<-followDone
+
 	st := phone.EngineStats()
-	fmt.Printf("done in %v: %d SYNs, %d established, %d failures, %d pure ACKs discarded\n",
+	fmt.Fprintf(out, "done in %v: %d SYNs, %d established, %d failures, %d pure ACKs discarded\n",
 		time.Since(start).Round(time.Millisecond), st.SYNs, st.Established,
 		st.ConnectFailures, st.PureACKs)
-	fmt.Printf("mapping: %d resolutions, %d parses, mitigation %.0f%%\n\n",
+	fmt.Fprintf(out, "mapping: %d resolutions, %d parses, mitigation %.0f%%\n\n",
 		st.Mapping.Resolutions, st.Mapping.Parses, st.Mapping.MitigationRate()*100)
 
-	fmt.Println("per-app view (median RTT, like Figure 1a):")
+	fmt.Fprintln(out, "per-app view (median RTT, like Figure 1a):")
 	meds := phone.AppMedians(1)
 	names := make([]string, 0, len(meds))
 	for n := range meds {
@@ -130,9 +171,9 @@ func main() {
 				count++
 			}
 		}
-		fmt.Printf("  %-36s %6.1f ms  (%d measurements)\n", n, meds[n], count)
+		fmt.Fprintf(out, "  %-36s %6.1f ms  (%d measurements)\n", n, meds[n], count)
 	}
-	fmt.Printf("\nDNS: %d measurements, median %.1f ms\n",
+	fmt.Fprintf(out, "\nDNS: %d measurements, median %.1f ms\n",
 		len(phone.DNSMeasurements()), medianMS(phone))
 }
 

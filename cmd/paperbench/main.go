@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|table1|table2|table3|table4|fig5|overhead|parallel|dispatch] [-fast] [-workers 1,2,4] [-readbatch 0]
+//	paperbench [-exp all|table1|table2|table3|table4|fig5|overhead|parallel|dispatch] [-fast] [-workers 1,2,4] [-readbatch 0] [-subs 0]
 package main
 
 import (
@@ -49,6 +49,7 @@ func main() {
 	fast := flag.Bool("fast", false, "smaller workloads / shorter runs")
 	workers := flag.String("workers", "1,2,4", "worker counts swept by -exp parallel/dispatch")
 	readbatch := flag.String("readbatch", "0", "read/write burst sizes swept by -exp parallel/dispatch (comma list; 0 = engine default of 64, 1 = batching off)")
+	subs := flag.Int("subs", 0, "live measurement subscribers attached during -exp dispatch (streaming-pipeline overhead)")
 	flag.Parse()
 
 	// parseBatches turns "-readbatch 1,64" into a sweep list (0 = the
@@ -157,6 +158,7 @@ func main() {
 				log.Fatal(err)
 			}
 			o.WorkerCounts = sweep
+			o.Subscribers = *subs
 			if *fast {
 				o.EchoesPerConn = 15
 				o.UDPPerConn = 5
@@ -167,7 +169,8 @@ func main() {
 				if err != nil {
 					log.Fatal(err)
 				}
-				fmt.Printf("Engine ceiling — zero-delay loopback flood across worker counts (readbatch=%s):\n", batchLabel(rb))
+				fmt.Printf("Engine ceiling — zero-delay loopback flood across worker counts (readbatch=%s, subscribers=%d):\n",
+					batchLabel(rb), *subs)
 				fmt.Println(res)
 			}
 		default:

@@ -50,18 +50,7 @@ func (e *Engine) dnsTransaction(s *udpSession, query []byte) {
 	}
 	e.ctr.dnsMeasurements.Add(1)
 	e.traffic.dns("system.dns")
-	e.store.Add(measure.Record{
-		Kind:    measure.KindDNS,
-		App:     "system.dns",
-		UID:     0,
-		Dst:     s.flow.Dst,
-		Domain:  domain,
-		RTT:     timeDuration(t1 - t0),
-		At:      e.clk.Now(),
-		NetType: e.cfg.NetType,
-		ISP:     e.cfg.ISP,
-		Country: e.cfg.Country,
-	})
+	e.record(measure.KindDNS, "system.dns", 0, s.flow.Dst, domain, timeDuration(t1-t0))
 	// Relay the response to the app, source-spoofed as the server the
 	// way the tunnel would present it.
 	e.emit(packet.UDPPacket(s.flow.Dst, s.flow.Src, resp))

@@ -254,22 +254,13 @@ func (e *Engine) removeClient(cl *relay.TCPClient) {
 	e.flows.Delete(cl.Flow)
 }
 
-// recordTCP stores one per-app RTT measurement.
+// recordTCP stores one per-app RTT measurement via the engine's emit
+// point (emit.go), which also feeds the subscriber broadcast.
 func (e *Engine) recordTCP(cl *relay.TCPClient, rtt time.Duration) {
 	e.ctr.tcpMeasurements.Add(1)
 	uid, app := cl.AppInfo()
 	e.traffic.connection(app)
-	e.store.Add(measure.Record{
-		Kind:    measure.KindTCP,
-		App:     app,
-		UID:     uid,
-		Dst:     cl.Flow.Dst,
-		RTT:     rtt,
-		At:      e.clk.Now(),
-		NetType: e.cfg.NetType,
-		ISP:     e.cfg.ISP,
-		Country: e.cfg.Country,
-	})
+	e.record(measure.KindTCP, app, uid, cl.Flow.Dst, "", rtt)
 }
 
 // handleSocketKey processes §2.3's socket events on the calling

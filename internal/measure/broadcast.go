@@ -1,0 +1,245 @@
+package measure
+
+import (
+	"context"
+	"iter"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the store's broadcast layer: the push half of the
+// streaming measurement pipeline. Every record is published exactly
+// once, at Add time, to each live Subscription over a bounded
+// single-producer/single-consumer ring — the same ring discipline as
+// the engine's per-worker queues (internal/engine/ringq.go), with one
+// deliberate difference: the engine's producer blocks when a ring
+// fills (backpressure toward the TUN queue), while the measurement
+// producer NEVER blocks. The record path runs on the engine's packet
+// workers, so a slow subscriber must not be able to stall the relay;
+// instead the record is dropped for that subscriber only and counted
+// on its drop counter. Bounded fan-out, bounded loss, unbounded
+// neither.
+//
+// Producer-side cost:
+//   - zero subscribers: one len check under the mutex Add already
+//     holds — no allocation, no atomics, nothing (pinned by a
+//     0-allocs test).
+//   - N subscribers: per subscriber, an optional predicate call and
+//     either a ring-slot copy + two atomic ops or a drop-counter
+//     increment. Still allocation-free.
+//
+// The SPSC invariant holds because publishes happen under Store.mu
+// (Add is already serialised there), so the producer side is a single
+// logical producer; each Subscription has exactly one consumer by
+// contract.
+
+// defaultSubscriberRing is the ring capacity when Subscribe is given
+// size <= 0: deep enough that a consumer scheduling hiccup does not
+// drop records at measurement rates (connections, not packets), small
+// enough that an abandoned-but-open subscription bounds its memory.
+const defaultSubscriberRing = 1024
+
+// Subscription is one bounded tap on a Store's record stream. It
+// observes every record added after Subscribe, in Add order, minus any
+// records dropped while its ring was full. A Subscription has a single
+// consumer: Next/Seq must not be called concurrently with themselves
+// or each other.
+type Subscription struct {
+	st   *Store
+	keep func(Record) bool // nil accepts every record
+
+	// SPSC ring. head is owned by the consumer, tail by the producer
+	// (serialised under Store.mu).
+	buf  []Record
+	mask uint64
+	head atomic.Uint64
+	tail atomic.Uint64
+
+	// dropped counts records this subscriber lost to a full ring.
+	dropped atomic.Uint64
+
+	// notify is the consumer wakeup: capacity 1, non-blocking send
+	// after every push, so a parked consumer observes "ring became
+	// non-empty" without the producer ever waiting.
+	notify chan struct{}
+	// done is closed when the subscription is closed (by the consumer
+	// or by the store shutting down). The ring may still hold records;
+	// Next drains them before reporting the end of the stream.
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// Subscribe registers a tap on the stream. Records added after the
+// call are pushed into a bounded ring of the given capacity (rounded
+// up to a power of two; size <= 0 means the 1024 default). keep, when
+// non-nil, filters producer-side: records it rejects are neither
+// delivered nor counted as drops. On a store whose subscribers have
+// been shut down (CloseSubscribers), the returned Subscription is
+// already closed and yields nothing.
+func (s *Store) Subscribe(size int, keep func(Record) bool) *Subscription {
+	if size <= 0 {
+		size = defaultSubscriberRing
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	sub := &Subscription{
+		st:     s,
+		keep:   keep,
+		buf:    make([]Record, n),
+		mask:   uint64(n - 1),
+		notify: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.subsClosed {
+		s.mu.Unlock()
+		sub.closeOnce.Do(func() { close(sub.done) })
+		return sub
+	}
+	s.subs = append(s.subs, sub)
+	s.mu.Unlock()
+	return sub
+}
+
+// publish fans one record out to every live subscriber. Caller holds
+// s.mu, which serialises producers and excludes subscribe/unsubscribe.
+func (s *Store) publish(r Record) {
+	for _, sub := range s.subs {
+		sub.push(r)
+	}
+}
+
+// push offers one record to the subscriber's ring, dropping (and
+// counting) when full. Runs under Store.mu — single producer.
+func (sub *Subscription) push(r Record) {
+	if sub.keep != nil && !sub.keep(r) {
+		return
+	}
+	t := sub.tail.Load()
+	if t-sub.head.Load() >= uint64(len(sub.buf)) {
+		sub.dropped.Add(1)
+		sub.st.dropped.Add(1)
+		return
+	}
+	sub.buf[t&sub.mask] = r
+	sub.tail.Store(t + 1)
+	select {
+	case sub.notify <- struct{}{}:
+	default:
+	}
+}
+
+// pop dequeues one record without blocking. Consumer side only.
+func (sub *Subscription) pop() (Record, bool) {
+	h := sub.head.Load()
+	if h == sub.tail.Load() {
+		return Record{}, false
+	}
+	r := sub.buf[h&sub.mask]
+	sub.buf[h&sub.mask] = Record{} // release the strings to the GC
+	sub.head.Store(h + 1)
+	return r, true
+}
+
+// Next blocks for the next record. ok is false once the subscription
+// is closed and its ring drained, or when ctx is cancelled (a nil ctx
+// never cancels). Records already in the ring at close time are still
+// delivered — closing the store ends the stream, it does not truncate
+// it.
+func (sub *Subscription) Next(ctx context.Context) (r Record, ok bool) {
+	var cancel <-chan struct{}
+	if ctx != nil {
+		cancel = ctx.Done()
+	}
+	for {
+		if r, ok := sub.pop(); ok {
+			return r, true
+		}
+		select {
+		case <-sub.notify:
+		case <-sub.done:
+			// Closed: the producer is gone (or ignoring us), so
+			// whatever pop sees now is the complete remainder.
+			if r, ok := sub.pop(); ok {
+				return r, true
+			}
+			return Record{}, false
+		case <-cancel:
+			return Record{}, false
+		}
+	}
+}
+
+// Seq adapts the subscription to a range-over-func iterator. The
+// subscription is closed when the range ends, whichever side ends it.
+func (sub *Subscription) Seq(ctx context.Context) iter.Seq[Record] {
+	return func(yield func(Record) bool) {
+		defer sub.Close()
+		for {
+			r, ok := sub.Next(ctx)
+			if !ok {
+				return
+			}
+			if !yield(r) {
+				return
+			}
+		}
+	}
+}
+
+// Dropped reports how many records this subscriber lost to a full
+// ring.
+func (sub *Subscription) Dropped() uint64 { return sub.dropped.Load() }
+
+// Close detaches the subscription from the store. Idempotent and safe
+// to call concurrently with publishes and with CloseSubscribers. A
+// consumer blocked in Next is released; records still in the ring
+// remain drainable.
+func (sub *Subscription) Close() {
+	sub.closeOnce.Do(func() {
+		sub.st.unsubscribe(sub)
+		close(sub.done)
+	})
+}
+
+func (s *Store) unsubscribe(sub *Subscription) {
+	s.mu.Lock()
+	for i, x := range s.subs {
+		if x == sub {
+			s.subs = append(s.subs[:i], s.subs[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+}
+
+// CloseSubscribers ends every live subscription and marks the store so
+// later Subscribe calls return already-closed subscriptions. Records
+// already ringed are still delivered to their consumers. The store
+// itself keeps accepting Add calls (they simply have no audience);
+// this is the teardown hook the owner of the store calls once the
+// producers are stopped.
+func (s *Store) CloseSubscribers() {
+	s.mu.Lock()
+	subs := s.subs
+	s.subs = nil
+	s.subsClosed = true
+	s.mu.Unlock()
+	for _, sub := range subs {
+		sub.closeOnce.Do(func() { close(sub.done) })
+	}
+}
+
+// Subscribers reports the number of live subscriptions.
+func (s *Store) Subscribers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// DroppedRecords reports the total records dropped across all
+// subscribers, past and present — the observability half of the
+// bounded-drop contract.
+func (s *Store) DroppedRecords() uint64 { return s.dropped.Load() }

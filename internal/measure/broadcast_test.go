@@ -1,0 +1,267 @@
+package measure
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func brec(i int) Record {
+	return Record{
+		Kind: KindTCP,
+		App:  fmt.Sprintf("app.%d", i%3),
+		UID:  10000 + i%3,
+		RTT:  time.Duration(i+1) * time.Millisecond,
+		At:   time.Unix(0, int64(i)).UTC(),
+	}
+}
+
+// The stream must observe exactly the records added after Subscribe,
+// in Add order — the same order a Snapshot reports.
+func TestSubscriptionSeesAddsInOrder(t *testing.T) {
+	s := NewStore()
+	sub := s.Subscribe(64, nil)
+	defer sub.Close()
+	const n = 50
+	for i := 0; i < n; i++ {
+		s.Add(brec(i))
+	}
+	snap := s.Snapshot()
+	for i := 0; i < n; i++ {
+		r, ok := sub.Next(context.Background())
+		if !ok {
+			t.Fatalf("stream ended at %d of %d", i, n)
+		}
+		if r != snap[i] {
+			t.Fatalf("record %d: stream %+v != snapshot %+v", i, r, snap[i])
+		}
+	}
+	if d := sub.Dropped(); d != 0 {
+		t.Errorf("drops on an underfull ring: %d", d)
+	}
+}
+
+func TestSubscriptionFilter(t *testing.T) {
+	s := NewStore()
+	sub := s.Subscribe(64, func(r Record) bool { return r.App == "app.1" })
+	defer sub.Close()
+	for i := 0; i < 30; i++ {
+		s.Add(brec(i))
+	}
+	for i := 0; i < 10; i++ {
+		r, ok := sub.Next(context.Background())
+		if !ok {
+			t.Fatalf("stream ended at %d", i)
+		}
+		if r.App != "app.1" {
+			t.Fatalf("filter leaked %q", r.App)
+		}
+	}
+	// Filtered-out records are not drops: the subscriber never wanted
+	// them.
+	if d := sub.Dropped(); d != 0 {
+		t.Errorf("filtered records counted as drops: %d", d)
+	}
+}
+
+// A full ring drops (and counts) instead of blocking the producer —
+// the bounded-drop contract.
+func TestSubscriptionBoundedDrop(t *testing.T) {
+	s := NewStore()
+	sub := s.Subscribe(4, nil)
+	defer sub.Close()
+	for i := 0; i < 10; i++ {
+		s.Add(brec(i)) // no consumer draining: 4 land, 6 drop
+	}
+	if d := sub.Dropped(); d != 6 {
+		t.Fatalf("dropped %d, want 6", d)
+	}
+	if d := s.DroppedRecords(); d != 6 {
+		t.Fatalf("store-wide drops %d, want 6", d)
+	}
+	// The survivors are the OLDEST records: drops happen at the tail,
+	// so what got through is a prefix, not a random sample.
+	for i := 0; i < 4; i++ {
+		r, ok := sub.Next(context.Background())
+		if !ok {
+			t.Fatalf("ring ended at %d", i)
+		}
+		if want := brec(i); r != want {
+			t.Fatalf("slot %d: got %+v want %+v", i, r, want)
+		}
+	}
+}
+
+func TestSubscriptionCloseReleasesBlockedNext(t *testing.T) {
+	s := NewStore()
+	sub := s.Subscribe(4, nil)
+	done := make(chan bool)
+	go func() {
+		_, ok := sub.Next(context.Background())
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	sub.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("Next returned a record from an empty closed stream")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next still blocked after Close")
+	}
+	if n := s.Subscribers(); n != 0 {
+		t.Errorf("subscribers after close: %d", n)
+	}
+}
+
+func TestSubscriptionContextCancel(t *testing.T) {
+	s := NewStore()
+	sub := s.Subscribe(4, nil)
+	defer sub.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool)
+	go func() {
+		_, ok := sub.Next(ctx)
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("Next returned a record after cancellation")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next still blocked after context cancel")
+	}
+}
+
+// Closing the store's broadcast side ends the stream but does not
+// truncate it: records already ringed are still delivered.
+func TestCloseSubscribersDrainsRemainder(t *testing.T) {
+	s := NewStore()
+	sub := s.Subscribe(16, nil)
+	for i := 0; i < 5; i++ {
+		s.Add(brec(i))
+	}
+	s.CloseSubscribers()
+	var got int
+	for {
+		_, ok := sub.Next(context.Background())
+		if !ok {
+			break
+		}
+		got++
+	}
+	if got != 5 {
+		t.Errorf("drained %d of 5 ringed records after shutdown", got)
+	}
+	// Subscriptions opened after shutdown are born closed.
+	late := s.Subscribe(16, nil)
+	if _, ok := late.Next(context.Background()); ok {
+		t.Error("post-shutdown subscription yielded a record")
+	}
+}
+
+func TestSubscriptionSeq(t *testing.T) {
+	s := NewStore()
+	sub := s.Subscribe(64, nil)
+	for i := 0; i < 8; i++ {
+		s.Add(brec(i))
+	}
+	var got []Record
+	for r := range sub.Seq(context.Background()) {
+		got = append(got, r)
+		if len(got) == 8 {
+			break // breaking the range must close the subscription
+		}
+	}
+	if len(got) != 8 {
+		t.Fatalf("ranged %d of 8", len(got))
+	}
+	if n := s.Subscribers(); n != 0 {
+		t.Errorf("subscription leaked past range break: %d live", n)
+	}
+}
+
+// The zero-subscriber publish path is the engine hot path; pin it to
+// zero allocations.
+func TestPublishZeroSubscribersAllocFree(t *testing.T) {
+	s := NewStore()
+	r := brec(1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.mu.Lock()
+		s.publish(r)
+		s.mu.Unlock()
+	})
+	if allocs != 0 {
+		t.Errorf("zero-subscriber publish allocates %.1f/op", allocs)
+	}
+}
+
+// With subscribers attached, both the delivery and the ring-full drop
+// paths stay allocation-free.
+func TestPublishWithSubscribersAllocFree(t *testing.T) {
+	s := NewStore()
+	sub := s.Subscribe(8, nil)
+	defer sub.Close()
+	filtered := s.Subscribe(8, func(Record) bool { return false })
+	defer filtered.Close()
+	r := brec(1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.mu.Lock()
+		s.publish(r) // ring fills after 8, then exercises the drop path
+		s.mu.Unlock()
+	})
+	if allocs != 0 {
+		t.Errorf("subscriber publish allocates %.1f/op", allocs)
+	}
+}
+
+// Concurrent adders, a draining consumer, and a racing Close: the
+// -race detector is the assertion, plus conservation — every record is
+// delivered or counted as dropped.
+func TestBroadcastConcurrency(t *testing.T) {
+	s := NewStore()
+	sub := s.Subscribe(32, nil)
+	const producers, perProducer = 4, 200
+
+	var consumed int
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		for {
+			_, ok := sub.Next(context.Background())
+			if !ok {
+				return
+			}
+			consumed++
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				s.Add(brec(p*perProducer + i))
+			}
+		}(p)
+	}
+	wg.Wait()
+	s.CloseSubscribers()
+	<-consumerDone
+
+	total := producers * perProducer
+	if got := consumed + int(sub.Dropped()); got != total {
+		t.Errorf("conservation: consumed %d + dropped %d = %d, want %d",
+			consumed, sub.Dropped(), got, total)
+	}
+	if s.Len() != total {
+		t.Errorf("store kept %d of %d", s.Len(), total)
+	}
+}

@@ -20,31 +20,67 @@ var csvHeader = []string{
 	"net_type", "isp", "country", "device",
 }
 
-// WriteCSV streams records as CSV with a header row.
-func WriteCSV(w io.Writer, recs []Record) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
+// CSVEncoder streams records as CSV one at a time — the incremental
+// form of WriteCSV for sinks that receive records as they are
+// measured. The header row is emitted before the first record (or by
+// Flush on an empty stream, so an empty export still parses).
+type CSVEncoder struct {
+	cw     *csv.Writer
+	row    []string
+	headed bool
+}
+
+// NewCSVEncoder wraps w for incremental CSV encoding.
+func NewCSVEncoder(w io.Writer) *CSVEncoder {
+	return &CSVEncoder{cw: csv.NewWriter(w), row: make([]string, len(csvHeader))}
+}
+
+func (e *CSVEncoder) header() error {
+	if e.headed {
+		return nil
+	}
+	e.headed = true
+	return e.cw.Write(csvHeader)
+}
+
+// Write encodes one record.
+func (e *CSVEncoder) Write(r Record) error {
+	if err := e.header(); err != nil {
 		return err
 	}
-	row := make([]string, len(csvHeader))
+	e.row[0] = r.Kind.String()
+	e.row[1] = r.App
+	e.row[2] = strconv.Itoa(r.UID)
+	e.row[3] = r.Dst.String()
+	e.row[4] = r.Domain
+	e.row[5] = strconv.FormatInt(int64(r.RTT), 10)
+	e.row[6] = strconv.FormatInt(r.At.UnixNano(), 10)
+	e.row[7] = r.NetType
+	e.row[8] = r.ISP
+	e.row[9] = r.Country
+	e.row[10] = r.Device
+	return e.cw.Write(e.row)
+}
+
+// Flush writes buffered rows (and the header, if nothing was written)
+// through to the underlying writer.
+func (e *CSVEncoder) Flush() error {
+	if err := e.header(); err != nil {
+		return err
+	}
+	e.cw.Flush()
+	return e.cw.Error()
+}
+
+// WriteCSV streams records as CSV with a header row.
+func WriteCSV(w io.Writer, recs []Record) error {
+	e := NewCSVEncoder(w)
 	for _, r := range recs {
-		row[0] = r.Kind.String()
-		row[1] = r.App
-		row[2] = strconv.Itoa(r.UID)
-		row[3] = r.Dst.String()
-		row[4] = r.Domain
-		row[5] = strconv.FormatInt(int64(r.RTT), 10)
-		row[6] = strconv.FormatInt(r.At.UnixNano(), 10)
-		row[7] = r.NetType
-		row[8] = r.ISP
-		row[9] = r.Country
-		row[10] = r.Device
-		if err := cw.Write(row); err != nil {
+		if err := e.Write(r); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return e.Flush()
 }
 
 // ReadCSV loads records written by WriteCSV.

@@ -85,6 +85,120 @@ func TestCSVRejectsBadRows(t *testing.T) {
 	}
 }
 
+// roundTrip encodes and decodes through one export format and demands
+// deep equality.
+func roundTrip(t *testing.T, name string, recs []Record,
+	write func(*bytes.Buffer, []Record) error, read func(*bytes.Buffer) ([]Record, error)) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := write(&buf, recs); err != nil {
+		t.Fatalf("%s write: %v", name, err)
+	}
+	got, err := read(&buf)
+	if err != nil {
+		t.Fatalf("%s read: %v", name, err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("%s: %d rows, want %d", name, len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("%s row %d:\n got %+v\nwant %+v", name, i, got[i], recs[i])
+		}
+	}
+}
+
+func writeCSVBuf(b *bytes.Buffer, recs []Record) error   { return WriteCSV(b, recs) }
+func readCSVBuf(b *bytes.Buffer) ([]Record, error)       { return ReadCSV(b) }
+func writeJSONLBuf(b *bytes.Buffer, recs []Record) error { return WriteJSONL(b, recs) }
+func readJSONLBuf(b *bytes.Buffer) ([]Record, error)     { return ReadJSONL(b) }
+
+func TestJSONLRoundTrip(t *testing.T) {
+	roundTrip(t, "jsonl", sampleRecords(), writeJSONLBuf, readJSONLBuf)
+}
+
+// Zero measurements must survive both formats: the CSV keeps its
+// header, the JSONL is empty, and both decode to nothing.
+func TestExportRoundTripEmpty(t *testing.T) {
+	roundTrip(t, "csv", nil, writeCSVBuf, readCSVBuf)
+	roundTrip(t, "jsonl", nil, writeJSONLBuf, readJSONLBuf)
+}
+
+// App names are user-controlled strings; non-ASCII package labels and
+// IDN domains must survive both exports byte-for-byte.
+func TestExportRoundTripUnicode(t *testing.T) {
+	recs := []Record{
+		{
+			Kind: KindTCP, App: "com.例え.アプリ", UID: 10042,
+			Dst:    netip.MustParseAddrPort("[2001:db8::1]:443"),
+			Domain: "пример.example", RTT: 7 * time.Millisecond,
+			At:      time.Date(2016, 6, 1, 0, 0, 0, 1, time.UTC),
+			NetType: "WiFi", ISP: "Überwald Telekom", Country: "中国", Device: "device-0007",
+		},
+		{
+			Kind: KindDNS, App: "system.dns",
+			Domain: "emoji-🦀.example", RTT: time.Microsecond,
+			At: time.Unix(0, 42).UTC(),
+			// Dst left zero: the invalid AddrPort must round-trip too.
+		},
+	}
+	roundTrip(t, "csv", recs, writeCSVBuf, readCSVBuf)
+	roundTrip(t, "jsonl", recs, writeJSONLBuf, readJSONLBuf)
+}
+
+func TestJSONLRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`{"kind":"XXX","app":"a","rtt_ns":1,"at_unix_ns":0}` + "\n",           // bad kind
+		`{"kind":"TCP","dst":"not-an-addr","rtt_ns":1,"at_unix_ns":0}` + "\n", // bad dst
+		`{"kind":` + "\n", // truncated JSON
+	}
+	for i, in := range cases {
+		if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: malformed line accepted", i)
+		}
+	}
+}
+
+// The incremental encoders must produce byte-identical output to the
+// batch helpers — sinks and snapshot exports may never diverge.
+func TestEncodersMatchBatchOutput(t *testing.T) {
+	recs := sampleRecords()
+	var batch, inc bytes.Buffer
+	if err := WriteCSV(&batch, recs); err != nil {
+		t.Fatal(err)
+	}
+	e := NewCSVEncoder(&inc)
+	for _, r := range recs {
+		if err := e.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if batch.String() != inc.String() {
+		t.Error("CSVEncoder output diverges from WriteCSV")
+	}
+
+	batch.Reset()
+	inc.Reset()
+	if err := WriteJSONL(&batch, recs); err != nil {
+		t.Fatal(err)
+	}
+	je := NewJSONLEncoder(&inc)
+	for _, r := range recs {
+		if err := je.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := je.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if batch.String() != inc.String() {
+		t.Error("JSONLEncoder output diverges from WriteJSONL")
+	}
+}
+
 func TestCSVFieldsWithCommas(t *testing.T) {
 	recs := []Record{{
 		Kind: KindTCP, App: "weird,app", Domain: "a,b.example",

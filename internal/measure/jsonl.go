@@ -1,0 +1,130 @@
+package measure
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+)
+
+// JSON Lines is the streaming sibling of the CSV export: one record
+// per line, self-describing fields, append-friendly — the natural
+// format for a live Subscribe stream or `mopeye -follow -jsonl`,
+// where a reader may join mid-file. The field layout mirrors the CSV
+// columns so the two exports stay interconvertible.
+
+// jsonRecord is the wire form of one Record.
+type jsonRecord struct {
+	Kind     string `json:"kind"`
+	App      string `json:"app"`
+	UID      int    `json:"uid,omitempty"`
+	Dst      string `json:"dst,omitempty"`
+	Domain   string `json:"domain,omitempty"`
+	RTTNanos int64  `json:"rtt_ns"`
+	AtNanos  int64  `json:"at_unix_ns"`
+	NetType  string `json:"net_type,omitempty"`
+	ISP      string `json:"isp,omitempty"`
+	Country  string `json:"country,omitempty"`
+	Device   string `json:"device,omitempty"`
+}
+
+func toJSONRecord(r Record) jsonRecord {
+	j := jsonRecord{
+		Kind:     r.Kind.String(),
+		App:      r.App,
+		UID:      r.UID,
+		Domain:   r.Domain,
+		RTTNanos: int64(r.RTT),
+		AtNanos:  r.At.UnixNano(),
+		NetType:  r.NetType,
+		ISP:      r.ISP,
+		Country:  r.Country,
+		Device:   r.Device,
+	}
+	if r.Dst.IsValid() {
+		j.Dst = r.Dst.String()
+	}
+	return j
+}
+
+func (j jsonRecord) record() (Record, error) {
+	var r Record
+	switch j.Kind {
+	case "TCP":
+		r.Kind = KindTCP
+	case "DNS":
+		r.Kind = KindDNS
+	default:
+		return r, fmt.Errorf("bad kind %q", j.Kind)
+	}
+	r.App = j.App
+	r.UID = j.UID
+	if j.Dst != "" {
+		ap, err := netip.ParseAddrPort(j.Dst)
+		if err != nil {
+			return r, fmt.Errorf("bad dst %q: %v", j.Dst, err)
+		}
+		r.Dst = ap
+	}
+	r.Domain = j.Domain
+	r.RTT = time.Duration(j.RTTNanos)
+	r.At = time.Unix(0, j.AtNanos).UTC()
+	r.NetType = j.NetType
+	r.ISP = j.ISP
+	r.Country = j.Country
+	r.Device = j.Device
+	return r, nil
+}
+
+// JSONLEncoder streams records as JSON Lines, one object per line.
+type JSONLEncoder struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLEncoder wraps w for incremental JSONL encoding.
+func NewJSONLEncoder(w io.Writer) *JSONLEncoder {
+	bw := bufio.NewWriter(w)
+	return &JSONLEncoder{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write encodes one record as one line.
+func (e *JSONLEncoder) Write(r Record) error {
+	return e.enc.Encode(toJSONRecord(r)) // Encode appends the newline
+}
+
+// Flush pushes buffered lines through to the underlying writer.
+func (e *JSONLEncoder) Flush() error { return e.bw.Flush() }
+
+// WriteJSONL writes records as JSON Lines.
+func WriteJSONL(w io.Writer, recs []Record) error {
+	e := NewJSONLEncoder(w)
+	for _, r := range recs {
+		if err := e.Write(r); err != nil {
+			return err
+		}
+	}
+	return e.Flush()
+}
+
+// ReadJSONL loads records written by WriteJSONL (or a JSONLSink),
+// tolerating blank lines.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for line := 1; ; line++ {
+		var j jsonRecord
+		if err := dec.Decode(&j); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("measure: jsonl record %d: %w", line, err)
+		}
+		rec, err := j.record()
+		if err != nil {
+			return nil, fmt.Errorf("measure: jsonl record %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+}

@@ -12,6 +12,7 @@ package measure
 import (
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/stats"
@@ -68,19 +69,32 @@ func ByNetType(recs []Record) map[string][]Record {
 	return m
 }
 
-// Store collects records.
+// Store collects records and broadcasts each one, at Add time, to any
+// live subscriptions (broadcast.go). The snapshot accessors and the
+// subscription stream observe the same records in the same order; the
+// stream is the push view, the snapshot the pull view.
 type Store struct {
 	mu   sync.Mutex
 	recs []Record
+
+	// subs are the live subscriptions; subsClosed marks the broadcast
+	// layer shut down (CloseSubscribers). Both guarded by mu.
+	subs       []*Subscription
+	subsClosed bool
+	// dropped totals ring-full drops across all subscribers ever.
+	dropped atomic.Uint64
 }
 
 // NewStore creates an empty store.
 func NewStore() *Store { return &Store{} }
 
-// Add appends one record.
+// Add appends one record and publishes it to every subscriber. With no
+// subscribers the publish step is a nil-slice range — the engine's
+// record path pays nothing for the broadcast layer it isn't using.
 func (s *Store) Add(r Record) {
 	s.mu.Lock()
 	s.recs = append(s.recs, r)
+	s.publish(r)
 	s.mu.Unlock()
 }
 

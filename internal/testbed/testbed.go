@@ -145,9 +145,13 @@ func New(o Options) (*Bed, error) {
 // InstallApp registers an app package under a UID.
 func (b *Bed) InstallApp(uid int, name string) { b.PM.Install(uid, name) }
 
-// Close tears the bed down in dependency order.
+// Close tears the bed down in dependency order. The engine stops
+// first, so by the time the store's subscribers are shut down no
+// worker can record: streams end cleanly after delivering every
+// measurement, never mid-stream.
 func (b *Bed) Close() {
 	b.Eng.Stop()
+	b.Store.CloseSubscribers()
 	b.Phone.Close()
 	b.Dev.Close()
 	b.Net.Close()

@@ -1,6 +1,7 @@
 package mopeye
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"strings"
@@ -43,6 +44,12 @@ type DispatchBenchOptions struct {
 	// what burst reads buy at the ceiling (`paperbench -exp dispatch
 	// -readbatch 1,64`).
 	ReadBatch int
+	// Subscribers attaches this many live measurement subscribers
+	// (Phone.Subscribe draining concurrently) for the duration of the
+	// flood — the BenchmarkSubscribeOverhead knob proving the
+	// broadcast layer's cost at the engine ceiling: zero for the
+	// baseline, 1/8 for fan-out.
+	Subscribers int
 }
 
 // DefaultDispatchBenchOptions returns a flood heavy enough to saturate
@@ -67,6 +74,11 @@ type DispatchBenchRow struct {
 	UDPRelayed    int // datagram responses relayed by the pooled relay
 	UDPDropped    int // datagrams dropped at the relay's bounded queue
 	Errors        int
+	// Streamed and StreamDropped account the measurement broadcast
+	// when Options.Subscribers > 0: records delivered to subscribers
+	// and records lost to full subscriber rings.
+	Streamed      int
+	StreamDropped int
 }
 
 // DispatchBenchResult is the full sweep.
@@ -93,15 +105,25 @@ func (r *DispatchBenchResult) Speedup(workers int) float64 {
 	return at / base
 }
 
-// String renders the sweep as a table.
+// String renders the sweep as a table; with subscribers attached the
+// stream accounting gets its own columns.
 func (r *DispatchBenchResult) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %10s %10s %12s %10s %10s %8s\n",
+	streaming := r.Options.Subscribers > 0
+	fmt.Fprintf(&b, "%-8s %10s %10s %12s %10s %10s %8s",
 		"workers", "duration", "packets", "pkts/sec", "udp-relay", "udp-drop", "speedup")
+	if streaming {
+		fmt.Fprintf(&b, " %10s %12s", "streamed", "stream-drop")
+	}
+	b.WriteByte('\n')
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%-8d %10s %10d %12.0f %10d %10d %7.2fx\n",
+		fmt.Fprintf(&b, "%-8d %10s %10d %12.0f %10d %10d %7.2fx",
 			row.Workers, row.Duration.Round(time.Millisecond), row.Packets,
 			row.PacketsPerSec, row.UDPRelayed, row.UDPDropped, r.Speedup(row.Workers))
+		if streaming {
+			fmt.Fprintf(&b, " %10d %12d", row.Streamed, row.StreamDropped)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
@@ -145,6 +167,23 @@ func runDispatchOnce(o DispatchBenchOptions, workers int) (DispatchBenchRow, err
 	phone.bed.Net.HandleUDP(dispatchUDPEcho, 0, func(req []byte, _ netip.AddrPort) []byte {
 		return req
 	})
+
+	// Live subscribers, each draining its own bounded ring for the
+	// whole flood; Subscribe registers synchronously, so all of them
+	// observe the flood from its first record, and their streams end
+	// when the phone closes.
+	var streamed atomic.Int64
+	var subWG sync.WaitGroup
+	for i := 0; i < o.Subscribers; i++ {
+		stream := phone.Subscribe(context.Background(), Filter{})
+		subWG.Add(1)
+		go func() {
+			defer subWG.Done()
+			for range stream {
+				streamed.Add(1)
+			}
+		}()
+	}
 
 	payload := make([]byte, o.PayloadBytes)
 	var errCount atomic.Int64
@@ -225,6 +264,11 @@ func runDispatchOnce(o DispatchBenchOptions, workers int) (DispatchBenchRow, err
 	// UDP accounting is read after the drain so late relays are counted.
 	st := phone.EngineStats()
 	pkts := mid.PacketsFromTun + mid.PacketsToTun
+
+	// Close ends the subscriber streams (after delivering what is
+	// ringed); only then are the stream counters complete.
+	phone.Close()
+	subWG.Wait()
 	return DispatchBenchRow{
 		Workers:       workers,
 		Duration:      dur,
@@ -233,5 +277,7 @@ func runDispatchOnce(o DispatchBenchOptions, workers int) (DispatchBenchRow, err
 		UDPRelayed:    st.UDPRelayed,
 		UDPDropped:    st.UDPDropped,
 		Errors:        int(errCount.Load()),
+		Streamed:      int(streamed.Load()),
+		StreamDropped: int(phone.StreamDrops()),
 	}, nil
 }

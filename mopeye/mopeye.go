@@ -22,15 +22,26 @@
 //		fmt.Printf("%s -> %s: %v\n", m.App, m.Dst, m.RTT)
 //	}
 //
+// Because MopEye monitors continuously, the API is push-first: Phone.Subscribe
+// streams measurements live as a context-cancellable iterator, and Phone.Attach
+// drives a Sink — CSVSink, JSONLSink, or the crowdsourcing Collector, whose
+// uploads feed the §4.2 analysis pipeline directly — for the engine's lifetime
+// (stream.go, sink.go). The snapshot accessors above remain as pull-style views
+// over the same pipeline.
+//
 // Beyond the live engine, the package exposes the paper's evaluation
 // (RunTable1 … RunTable4, RunFig5) and the crowdsourcing study
-// (NewStudy), which regenerate every table and figure of the paper.
+// (NewStudy, and NewStudyFrom for collected records), which regenerate
+// every table and figure of the paper.
 package mopeye
 
 import (
 	"fmt"
 	"io"
+	"net"
 	"net/netip"
+	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/engine"
@@ -114,8 +125,28 @@ type Options struct {
 type Measurement = measure.Record
 
 // Phone is a simulated device with MopEye running.
+//
+// Beyond the pull-style snapshot accessors (Measurements, ExportCSV,
+// AppMedians…), a Phone exposes the streaming pipeline: Subscribe
+// taps the live measurement stream as a range-over-func iterator, and
+// Attach registers a Sink — CSVSink, JSONLSink, or the crowdsourcing
+// Collector — that consumes every measurement for the rest of the
+// engine's lifetime. See stream.go and sink.go.
 type Phone struct {
 	bed *testbed.Bed
+
+	// done is closed once Close has fully torn the phone down; Run
+	// waits on it.
+	done chan struct{}
+	// closeOnce makes Close idempotent and safe against concurrent
+	// Subscribe/Attach/Close callers.
+	closeOnce sync.Once
+
+	// mu guards the attach bookkeeping below.
+	mu     sync.Mutex
+	closed bool
+	sinks  []*attachedSink
+	sinkWG sync.WaitGroup
 }
 
 // New builds a phone, its network, and starts the engine.
@@ -165,7 +196,7 @@ func New(o Options) (*Phone, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Phone{bed: bed}, nil
+	return &Phone{bed: bed, done: make(chan struct{})}, nil
 }
 
 func msToDelay(ms float64) time.Duration {
@@ -243,17 +274,22 @@ func (p *Phone) resolveDst(uid int, dst string) (netip.AddrPort, error) {
 	return netip.AddrPortFrom(res.Addr, port), nil
 }
 
+// splitHostPort splits "host:port" with net.SplitHostPort semantics,
+// so bracketed IPv6 literals like "[::1]:443" parse as an address plus
+// port rather than being cut at the wrong colon.
 func splitHostPort(s string) (host string, port uint16, err error) {
-	for i := len(s) - 1; i >= 0; i-- {
-		if s[i] == ':' {
-			var p int
-			if _, err := fmt.Sscanf(s[i+1:], "%d", &p); err != nil || p <= 0 || p > 65535 {
-				return "", 0, fmt.Errorf("mopeye: bad port in %q", s)
-			}
-			return s[:i], uint16(p), nil
-		}
+	host, portStr, err := net.SplitHostPort(s)
+	if err != nil {
+		return "", 0, fmt.Errorf("mopeye: bad destination %q: %w", s, err)
 	}
-	return "", 0, fmt.Errorf("mopeye: missing port in %q", s)
+	if host == "" {
+		return "", 0, fmt.Errorf("mopeye: missing host in %q", s)
+	}
+	p, err := strconv.ParseUint(portStr, 10, 16)
+	if err != nil || p == 0 {
+		return "", 0, fmt.Errorf("mopeye: bad port in %q", s)
+	}
+	return host, uint16(p), nil
 }
 
 // Resolve performs a DNS lookup as the app with the given UID,
@@ -283,27 +319,41 @@ func (c *Conn) Close() error { return c.c.Close() }
 func (c *Conn) ConnectLatency() time.Duration { return c.c.ConnectElapsed }
 
 // Measurements returns every opportunistic measurement collected so
-// far.
+// far — the pull-style snapshot of the same stream Subscribe delivers
+// push-style, in the same order. Copies the whole store on every
+// call; continuous consumers should prefer Subscribe or Attach.
 func (p *Phone) Measurements() []Measurement { return p.bed.Store.Snapshot() }
 
-// ExportCSV writes the phone's measurements as CSV — what MopEye
-// uploads to the crowdsourcing collector.
+// ExportCSV writes a snapshot of the phone's measurements as CSV —
+// the batch form of what MopEye uploads to the crowdsourcing
+// collector. For continuous export, Attach a CSVSink (byte-identical
+// output) or a Collector instead.
 func (p *Phone) ExportCSV(w io.Writer) error {
 	return measure.WriteCSV(w, p.bed.Store.Snapshot())
 }
 
-// TCPMeasurements returns only per-app TCP RTTs.
+// ExportJSONL writes a snapshot of the phone's measurements as JSON
+// Lines, the streaming-friendly export (`mopeye -jsonl`). For
+// continuous export, Attach a JSONLSink instead.
+func (p *Phone) ExportJSONL(w io.Writer) error {
+	return measure.WriteJSONL(w, p.bed.Store.Snapshot())
+}
+
+// TCPMeasurements returns a snapshot of the per-app TCP RTTs — the
+// pull form of Subscribe(ctx, Filter{Kind: TCPOnly}).
 func (p *Phone) TCPMeasurements() []Measurement {
 	return p.bed.Store.Kind(measure.KindTCP)
 }
 
-// DNSMeasurements returns only DNS RTTs.
+// DNSMeasurements returns a snapshot of the DNS RTTs — the pull form
+// of Subscribe(ctx, Filter{Kind: DNSOnly}).
 func (p *Phone) DNSMeasurements() []Measurement {
 	return p.bed.Store.Kind(measure.KindDNS)
 }
 
 // AppMedians returns each app's median RTT in milliseconds over apps
-// with at least minN measurements.
+// with at least minN measurements. The Collector sink maintains the
+// same aggregate continuously on its upload schedule.
 func (p *Phone) AppMedians(minN int) map[string]float64 {
 	return measure.AppMedians(p.TCPMeasurements(), minN)
 }
@@ -331,5 +381,28 @@ func (p *Phone) GroundTruthRTTs(dst string) ([]float64, error) {
 	return p.bed.Sniffer.RTTsTo(ap), nil
 }
 
-// Close stops the engine and tears the simulation down.
-func (p *Phone) Close() { p.bed.Close() }
+// Close stops the engine, ends every live Subscribe stream and
+// attached Sink (delivering the records already in flight, then
+// flushing and closing the sinks), and tears the simulation down.
+// Close is idempotent and safe to call concurrently with Subscribe,
+// Attach, and other Close calls; every call returns only after the
+// teardown has completed.
+func (p *Phone) Close() {
+	p.closeOnce.Do(func() {
+		p.mu.Lock()
+		p.closed = true
+		sinks := p.sinks
+		p.mu.Unlock()
+
+		// Stop the engine first: after bed.Close no worker can record,
+		// so ending the subscriptions cannot truncate the stream —
+		// subscribers drain what is already ringed, then see the end.
+		p.bed.Close()
+		p.sinkWG.Wait()
+		for _, as := range sinks {
+			as.finish()
+		}
+		close(p.done)
+	})
+	<-p.done
+}

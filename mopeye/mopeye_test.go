@@ -141,6 +141,42 @@ func TestAppMedians(t *testing.T) {
 	}
 }
 
+func TestSplitHostPort(t *testing.T) {
+	cases := []struct {
+		in   string
+		host string
+		port uint16
+		ok   bool
+	}{
+		{"example.com:443", "example.com", 443, true},
+		{"1.2.3.4:80", "1.2.3.4", 80, true},
+		{"[::1]:443", "::1", 443, true},
+		{"[2001:db8::2]:8080", "2001:db8::2", 8080, true},
+		{"example.com", "", 0, false},       // bare host, no port
+		{"::1:443", "", 0, false},           // unbracketed IPv6: ambiguous
+		{"example.com:", "", 0, false},      // empty port
+		{"example.com:0", "", 0, false},     // port zero
+		{"example.com:70000", "", 0, false}, // port out of range
+		{"example.com:https", "", 0, false}, // named port unsupported
+		{":443", "", 0, false},              // empty host
+		{"", "", 0, false},
+	}
+	for _, c := range cases {
+		host, port, err := splitHostPort(c.in)
+		if c.ok {
+			if err != nil {
+				t.Errorf("%q: unexpected error %v", c.in, err)
+				continue
+			}
+			if host != c.host || port != c.port {
+				t.Errorf("%q: got (%q, %d), want (%q, %d)", c.in, host, port, c.host, c.port)
+			}
+		} else if err == nil {
+			t.Errorf("%q: accepted as (%q, %d)", c.in, host, port)
+		}
+	}
+}
+
 func TestBadDestinations(t *testing.T) {
 	p := newPhone(t)
 	if _, err := p.Connect(10001, "noport.example.com"); err == nil {
@@ -305,5 +341,38 @@ func TestDispatchBenchLoopback(t *testing.T) {
 	}
 	if res.String() == "" {
 		t.Error("empty render")
+	}
+}
+
+// TestDispatchBenchSubscribers runs the ceiling flood with live
+// measurement subscribers attached: the stream must observe every
+// record (or account the difference as ring drops), and the flood
+// itself must be unaffected.
+func TestDispatchBenchSubscribers(t *testing.T) {
+	o := DispatchBenchOptions{
+		WorkerCounts:  []int{4},
+		Apps:          2,
+		ConnsPerApp:   2,
+		EchoesPerConn: 5,
+		PayloadBytes:  256,
+		Subscribers:   3,
+	}
+	res, err := RunDispatchBench(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row.Errors != 0 {
+		t.Fatalf("flood errors with subscribers attached: %d", row.Errors)
+	}
+	// Each connection records one measurement; all three subscribers
+	// see each of them, minus bounded drops.
+	conns := o.Apps * o.ConnsPerApp
+	if row.Streamed+row.StreamDropped != o.Subscribers*conns {
+		t.Errorf("streamed %d + dropped %d != subscribers %d x records %d",
+			row.Streamed, row.StreamDropped, o.Subscribers, conns)
+	}
+	if row.StreamDropped != 0 {
+		t.Errorf("drops at measurement rates: %d", row.StreamDropped)
 	}
 }

@@ -1,0 +1,247 @@
+package mopeye
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/measure"
+)
+
+// Sink consumes a measurement stream. Implementations are driven by
+// Phone.Attach (one Accept per measurement on a dedicated drain
+// goroutine, Flush+Close at phone teardown) but are plain values —
+// they can equally be fed by hand from a Subscribe loop or a replayed
+// export. Accept, Flush and Close are never called concurrently by
+// Attach; sinks shared across goroutines must lock, and the shipped
+// implementations do.
+type Sink interface {
+	// Accept consumes one measurement. Returning an error detaches
+	// the sink from an Attach-driven stream.
+	Accept(Measurement) error
+	// Flush forces buffered state out (rows to the writer, a pending
+	// batch to the collector).
+	Flush() error
+	// Close flushes and releases the sink. The sink is not usable
+	// afterwards.
+	Close() error
+}
+
+// CSVSink streams measurements as CSV rows — the continuous form of
+// ExportCSV, byte-identical given the same records. The caller keeps
+// ownership of w; Close flushes but does not close it.
+type CSVSink struct {
+	mu  sync.Mutex
+	enc *measure.CSVEncoder
+}
+
+// NewCSVSink builds a CSV sink over w.
+func NewCSVSink(w io.Writer) *CSVSink {
+	return &CSVSink{enc: measure.NewCSVEncoder(w)}
+}
+
+// Accept writes one row and flushes it through — measurements arrive
+// at connection rate, not packet rate, so per-record flushing is
+// cheap and keeps a tailing consumer live instead of waiting on a
+// buffer to fill.
+func (s *CSVSink) Accept(m Measurement) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.enc.Write(m); err != nil {
+		return err
+	}
+	return s.enc.Flush()
+}
+
+// Flush writes buffered rows (and the header on an empty stream).
+func (s *CSVSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.Flush()
+}
+
+// Close flushes; the underlying writer stays open.
+func (s *CSVSink) Close() error { return s.Flush() }
+
+// JSONLSink streams measurements as JSON Lines — self-describing,
+// append-friendly, the format behind `mopeye -follow -jsonl`. The
+// caller keeps ownership of w; Close flushes but does not close it.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *measure.JSONLEncoder
+}
+
+// NewJSONLSink builds a JSONL sink over w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: measure.NewJSONLEncoder(w)}
+}
+
+// Accept writes one line and flushes it through, so a consumer
+// tailing the stream (`mopeye -jsonl | jq`) sees each measurement as
+// it happens rather than when a buffer fills.
+func (s *JSONLSink) Accept(m Measurement) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.enc.Write(m); err != nil {
+		return err
+	}
+	return s.enc.Flush()
+}
+
+// Flush pushes buffered lines through.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.Flush()
+}
+
+// Close flushes; the underlying writer stays open.
+func (s *JSONLSink) Close() error { return s.Flush() }
+
+// CollectorOptions tunes the Collector's upload policy — the paper's
+// client-side batching, which holds measurements locally and uploads
+// them in bursts rather than per record.
+type CollectorOptions struct {
+	// BatchSize uploads once this many measurements are pending.
+	// Default 256.
+	BatchSize int
+	// Interval additionally uploads a non-empty pending batch when
+	// this much time has passed since the last upload, checked as
+	// measurements arrive. Zero disables interval uploads (the default:
+	// size-and-flush only, which keeps tests deterministic).
+	Interval time.Duration
+	// Device stamps uploaded records that carry no device attribution,
+	// identifying this phone in the crowdsourced dataset. Default
+	// "device-live".
+	Device string
+	// MinPerApp is the minimum records per app for the per-app median
+	// aggregate recomputed on each upload. Default 1.
+	MinPerApp int
+
+	// now is the clock, overridable in tests.
+	now func() time.Time
+}
+
+// Collector is the crowdsourcing server stand-in: a Sink that batches
+// a phone's measurements by size/interval the way MopEye's uploader
+// does, maintains the server-side aggregate (per-app median RTTs,
+// recomputed on every upload), and feeds the §4.2 analysis pipeline —
+// Study() hands the uploaded records to the same code that analyses
+// the paper's 5.25M-record deployment dataset.
+type Collector struct {
+	mu         sync.Mutex
+	o          CollectorOptions
+	pending    []measure.Record
+	uploaded   []measure.Record
+	uploads    int
+	lastUpload time.Time
+}
+
+// NewCollector builds a collector with the given upload policy.
+func NewCollector(o CollectorOptions) *Collector {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 256
+	}
+	if o.Device == "" {
+		o.Device = "device-live"
+	}
+	if o.MinPerApp <= 0 {
+		o.MinPerApp = 1
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+	return &Collector{o: o, lastUpload: o.now()}
+}
+
+// Accept queues one measurement, uploading when the batch-size or
+// interval policy fires. Never returns an error.
+func (c *Collector) Accept(m Measurement) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pending = append(c.pending, m)
+	if len(c.pending) >= c.o.BatchSize ||
+		(c.o.Interval > 0 && c.o.now().Sub(c.lastUpload) >= c.o.Interval) {
+		c.upload()
+	}
+	return nil
+}
+
+// Flush uploads the pending batch regardless of policy.
+func (c *Collector) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.upload()
+	return nil
+}
+
+// Close performs the final upload. The collector's uploaded dataset
+// remains readable afterwards.
+func (c *Collector) Close() error { return c.Flush() }
+
+// upload moves the pending batch server-side: stamps the device
+// attribution and appends to the uploaded dataset. Caller holds c.mu.
+func (c *Collector) upload() {
+	if len(c.pending) == 0 {
+		return
+	}
+	for _, r := range c.pending {
+		if r.Device == "" {
+			r.Device = c.o.Device
+		}
+		c.uploaded = append(c.uploaded, r)
+	}
+	c.pending = c.pending[:0]
+	c.uploads++
+	c.lastUpload = c.o.now()
+}
+
+func filterTCP(recs []measure.Record) []measure.Record {
+	out := make([]measure.Record, 0, len(recs))
+	for _, r := range recs {
+		if r.Kind == measure.KindTCP {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Uploads reports how many batches have been uploaded.
+func (c *Collector) Uploads() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.uploads
+}
+
+// Pending reports the measurements queued but not yet uploaded.
+func (c *Collector) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Records returns a copy of the uploaded dataset, device-stamped, in
+// upload order.
+func (c *Collector) Records() []Measurement {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]measure.Record(nil), c.uploaded...)
+}
+
+// AppMedians returns the server-side aggregate as of the last upload:
+// each app's median TCP RTT in milliseconds over apps with at least
+// MinPerApp uploaded records. Computed on demand — pending records do
+// not move the aggregate, only uploads do.
+func (c *Collector) AppMedians() map[string]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return measure.AppMedians(filterTCP(c.uploaded), c.o.MinPerApp)
+}
+
+// Study hands the uploaded records to the §4.2 analysis pipeline: a
+// live phone's stream becomes a Study exactly the way the generated
+// deployment dataset does. Call after Flush/Close (or at any upload
+// boundary).
+func (c *Collector) Study() *Study {
+	return NewStudyFrom(c.Records())
+}

@@ -1,0 +1,193 @@
+package mopeye
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/measure"
+)
+
+func sinkRec(app string, ms float64) Measurement {
+	return measure.Record{
+		Kind: measure.KindTCP, App: app, UID: 10001,
+		Dst: netip.MustParseAddrPort("203.0.113.1:443"),
+		RTT: time.Duration(ms * float64(time.Millisecond)),
+		At:  time.Unix(0, 0).UTC(),
+	}
+}
+
+// The file sinks must emit exactly what the batch exporters would for
+// the same records.
+func TestFileSinksMatchBatchExports(t *testing.T) {
+	recs := []Measurement{sinkRec("a", 10), sinkRec("b", 20)}
+
+	var sinkOut, batchOut bytes.Buffer
+	cs := NewCSVSink(&sinkOut)
+	for _, r := range recs {
+		if err := cs.Accept(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := measure.WriteCSV(&batchOut, recs); err != nil {
+		t.Fatal(err)
+	}
+	if sinkOut.String() != batchOut.String() {
+		t.Error("CSVSink diverges from WriteCSV")
+	}
+
+	sinkOut.Reset()
+	batchOut.Reset()
+	js := NewJSONLSink(&sinkOut)
+	for _, r := range recs {
+		if err := js.Accept(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := js.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := measure.WriteJSONL(&batchOut, recs); err != nil {
+		t.Fatal(err)
+	}
+	if sinkOut.String() != batchOut.String() {
+		t.Error("JSONLSink diverges from WriteJSONL")
+	}
+}
+
+// An empty CSV sink still produces a parseable header-only file.
+func TestCSVSinkEmptyStream(t *testing.T) {
+	var out bytes.Buffer
+	s := NewCSVSink(&out)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := measure.ReadCSV(&out)
+	if err != nil {
+		t.Fatalf("header-only output unparseable: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("phantom records: %d", len(recs))
+	}
+}
+
+func TestCollectorBatchSizePolicy(t *testing.T) {
+	c := NewCollector(CollectorOptions{BatchSize: 3})
+	for i := 0; i < 7; i++ {
+		if err := c.Accept(sinkRec("a", float64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Uploads() != 2 {
+		t.Errorf("uploads after 7 accepts at batch 3: %d, want 2", c.Uploads())
+	}
+	if c.Pending() != 1 {
+		t.Errorf("pending: %d, want 1", c.Pending())
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Uploads() != 3 || c.Pending() != 0 {
+		t.Errorf("after close: uploads %d pending %d", c.Uploads(), c.Pending())
+	}
+	if got := len(c.Records()); got != 7 {
+		t.Errorf("uploaded records: %d", got)
+	}
+	// Flush with nothing pending is not an upload.
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Uploads() != 3 {
+		t.Errorf("empty flush counted as upload: %d", c.Uploads())
+	}
+}
+
+func TestCollectorIntervalPolicy(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := NewCollector(CollectorOptions{
+		BatchSize: 1000,
+		Interval:  time.Minute,
+		now:       func() time.Time { return now },
+	})
+	c.Accept(sinkRec("a", 1))
+	if c.Uploads() != 0 {
+		t.Fatalf("uploaded before the interval: %d", c.Uploads())
+	}
+	now = now.Add(61 * time.Second)
+	c.Accept(sinkRec("a", 2))
+	if c.Uploads() != 1 {
+		t.Errorf("interval upload missing: %d", c.Uploads())
+	}
+	if c.Pending() != 0 {
+		t.Errorf("pending after interval upload: %d", c.Pending())
+	}
+}
+
+func TestCollectorMediansAndDeviceStamp(t *testing.T) {
+	c := NewCollector(CollectorOptions{BatchSize: 100, Device: "device-test", MinPerApp: 2})
+	for _, ms := range []float64{10, 30, 20} {
+		c.Accept(sinkRec("com.app.x", ms))
+	}
+	c.Accept(sinkRec("com.app.rare", 99))
+	// DNS records never enter the per-app median aggregate.
+	dns := sinkRec("system.dns", 5)
+	dns.Kind = measure.KindDNS
+	c.Accept(dns)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	med := c.AppMedians()
+	if got := med["com.app.x"]; got != 20 {
+		t.Errorf("median: %v", got)
+	}
+	if _, ok := med["com.app.rare"]; ok {
+		t.Error("app below MinPerApp aggregated")
+	}
+	if _, ok := med["system.dns"]; ok {
+		t.Error("DNS leaked into the TCP median aggregate")
+	}
+	for _, r := range c.Records() {
+		if r.Device != "device-test" {
+			t.Errorf("unstamped upload: %+v", r)
+		}
+	}
+	// Records that already carry a device attribution keep it.
+	pre := sinkRec("com.app.x", 40)
+	pre.Device = "device-original"
+	c.Accept(pre)
+	c.Flush()
+	recs := c.Records()
+	if got := recs[len(recs)-1].Device; got != "device-original" {
+		t.Errorf("pre-attributed device overwritten: %q", got)
+	}
+}
+
+// A collector dataset loaded back from a JSONL export analyses the
+// same as the live one: the full export → ingest loop.
+func TestCollectorRoundTripThroughJSONL(t *testing.T) {
+	c := NewCollector(CollectorOptions{BatchSize: 2, Device: "device-rt"})
+	for i := 0; i < 5; i++ {
+		c.Accept(sinkRec("com.app.rt", float64(10*(i+1))))
+	}
+	c.Close()
+
+	var buf bytes.Buffer
+	if err := measure.WriteJSONL(&buf, c.Records()); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := measure.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStudyFrom(loaded)
+	if got := len(st.Dataset().Records); got != 5 {
+		t.Fatalf("round-tripped study records: %d", got)
+	}
+	if d := st.Dataset().DeviceByID("device-rt"); d == nil || d.Activity != 5 {
+		t.Errorf("device lost in round trip: %+v", d)
+	}
+}

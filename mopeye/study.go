@@ -25,6 +25,15 @@ func NewStudy(scale float64, seed int64) *Study {
 	return &Study{ds: crowd.Generate(crowd.Config{Scale: scale, Seed: seed})}
 }
 
+// NewStudyFrom builds a Study over already-collected measurement
+// records — a Collector's uploads, or a CSV/JSONL export loaded back
+// with measure.ReadCSV/ReadJSONL — instead of the statistical
+// generator. Device metadata is reconstructed from the records; the
+// analysis pipeline is identical.
+func NewStudyFrom(records []Measurement) *Study {
+	return &Study{ds: crowd.Ingest(records)}
+}
+
 // Dataset exposes the underlying dataset for custom analysis.
 func (s *Study) Dataset() *crowd.Dataset { return s.ds }
 
