@@ -1,0 +1,71 @@
+// Command collectord is the crowdsourcing collector server: the wire
+// endpoint MopEye phones upload their measurement batches to (§4
+// deployment shape). It authenticates device stamps (and a shared
+// token when configured), deduplicates batches on their idempotency
+// keys, appends accepted batches to a durable spool, and serves the
+// assembled dataset back as JSONL.
+//
+// Endpoints: POST /v1/upload (batch wire encoding), GET /v1/records
+// (JSONL dump), GET /v1/stats, GET /healthz.
+//
+// Usage:
+//
+//	collectord [-addr 127.0.0.1:8477] [-spool DIR] [-token T]
+//
+// Feed it from a phone (`mopeye -upload http://127.0.0.1:8477`) or a
+// fleet, then analyse with `crowdstudy -serve http://127.0.0.1:8477`
+// (live) or `crowdstudy -spool DIR` (offline).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/crowd"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8477", "listen address")
+	spool := flag.String("spool", "", "durable spool directory (empty = memory only)")
+	token := flag.String("token", "", "shared bearer token required on every request (empty = open)")
+	flag.Parse()
+
+	srv, err := crowd.NewServer(crowd.ServerOptions{SpoolDir: *spool, Token: *token})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if st := srv.Stats(); st.Batches > 0 {
+		log.Printf("replayed spool: %d batches, %d records", st.Batches, st.Records)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}()
+
+	log.Printf("collectord listening on http://%s (spool %q)", *addr, *spool)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-done
+	if err := srv.Close(); err != nil {
+		log.Printf("spool close: %v", err)
+	}
+	st := srv.Stats()
+	fmt.Printf("collected %d records in %d batches (%d duplicates absorbed, %d auth failures, %d bad requests)\n",
+		st.Records, st.Batches, st.Duplicates, st.AuthFailures, st.BadRequests)
+}

@@ -8,9 +8,14 @@
 // to pipe into jq or a collector — and the human-readable report
 // moves to stderr. The two compose: `mopeye -follow -jsonl | jq .rtt_ns`.
 //
+// With -upload the phone runs the paper's §4 crowdsourcing loop for
+// real: a Collector batches the measurements and ships them to a
+// collector server (cmd/collectord) over HTTP with retry and
+// idempotency-keyed dedup.
+//
 // Usage:
 //
-//	mopeye [-apps N] [-conns N] [-pages N] [-realistic] [-variant mopeye|toyvpn|haystack] [-workers N] [-readbatch N] [-follow] [-jsonl]
+//	mopeye [-apps N] [-conns N] [-pages N] [-realistic] [-variant mopeye|toyvpn|haystack] [-workers N] [-readbatch N] [-follow] [-jsonl] [-upload URL [-device D] [-token T]]
 package main
 
 import (
@@ -39,6 +44,9 @@ func main() {
 	readbatch := flag.Int("readbatch", 0, "multi-worker read/write burst size (0 = default 64, 1 = batching off)")
 	follow := flag.Bool("follow", false, "print each measurement live as the engine records it")
 	jsonl := flag.Bool("jsonl", false, "stream measurements to stdout as JSON Lines (report moves to stderr)")
+	upload := flag.String("upload", "", "collector server base URL (e.g. http://127.0.0.1:8477): upload measurement batches over HTTP as they accrue")
+	device := flag.String("device", "cli-phone", "device stamp for uploaded records")
+	token := flag.String("token", "", "collector bearer token")
 	flag.Parse()
 
 	var cfg engine.Config
@@ -79,6 +87,22 @@ func main() {
 	if *jsonl {
 		out = os.Stderr
 		if _, err := phone.Attach(mopeye.NewJSONLSink(os.Stdout)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The crowdsourcing upload path: a Collector batches measurements
+	// and ships them to the collector server over HTTP, retries and
+	// idempotency keys included — the deployed app's §4 loop.
+	var transport *mopeye.HTTPTransport
+	if *upload != "" {
+		transport = mopeye.NewHTTPTransport(*upload, mopeye.HTTPTransportOptions{Token: *token})
+		collector := mopeye.NewCollector(mopeye.CollectorOptions{
+			BatchSize: 64,
+			Device:    *device,
+			Transport: transport,
+		})
+		if _, err := phone.Attach(collector); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -149,6 +173,16 @@ func main() {
 	// below keep working on the closed phone.
 	phone.Close()
 	<-followDone
+	if transport != nil {
+		// Close drains the queued batches (the final flush included)
+		// before the stats below are read.
+		if err := transport.Close(); err != nil {
+			fmt.Fprintf(out, "upload: %v\n", err)
+		}
+		ts := transport.Stats()
+		fmt.Fprintf(out, "uploaded %d batches to %s (%d retries, %d dropped, %d failed)\n",
+			ts.Uploaded, *upload, ts.Retried, ts.Dropped, ts.Failed)
+	}
 
 	st := phone.EngineStats()
 	fmt.Fprintf(out, "done in %v: %d SYNs, %d established, %d failures, %d pure ACKs discarded\n",

@@ -2,13 +2,15 @@
 // accuracy and relay overhead — and prints each table/figure in the
 // paper's layout. Beyond the paper, -exp parallel sweeps the engine's
 // worker counts under a multi-app packet flood (a workload the
-// single-phone paper never exercises), and -exp dispatch runs the same
+// single-phone paper never exercises), -exp dispatch runs the same
 // sweep over a zero-delay loopback network so the result is the engine
-// ceiling rather than the simulated wire.
+// ceiling rather than the simulated wire, and -exp fleet runs N phones
+// fanning their Collector uploads into one collector server, in
+// process and over HTTP, to price the wire.
 //
 // Usage:
 //
-//	paperbench [-exp all|table1|table2|table3|table4|fig5|overhead|parallel|dispatch] [-fast] [-workers 1,2,4] [-readbatch 0] [-subs 0]
+//	paperbench [-exp all|table1|table2|table3|table4|fig5|overhead|parallel|dispatch|fleet] [-fast] [-workers 1,2,4] [-readbatch 0] [-subs 0] [-phones 8]
 package main
 
 import (
@@ -45,11 +47,12 @@ func parseWorkers(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig5, overhead, parallel, dispatch")
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig5, overhead, parallel, dispatch, fleet")
 	fast := flag.Bool("fast", false, "smaller workloads / shorter runs")
 	workers := flag.String("workers", "1,2,4", "worker counts swept by -exp parallel/dispatch")
 	readbatch := flag.String("readbatch", "0", "read/write burst sizes swept by -exp parallel/dispatch (comma list; 0 = engine default of 64, 1 = batching off)")
 	subs := flag.Int("subs", 0, "live measurement subscribers attached during -exp dispatch (streaming-pipeline overhead)")
+	phones := flag.Int("phones", 8, "fleet size for -exp fleet")
 	flag.Parse()
 
 	// parseBatches turns "-readbatch 1,64" into a sweep list (0 = the
@@ -173,6 +176,19 @@ func main() {
 					batchLabel(rb), *subs)
 				fmt.Println(res)
 			}
+		case "fleet":
+			o := mopeye.DefaultFleetBenchOptions()
+			o.Phones = *phones
+			if *fast {
+				o.ConnsPerPhone = 6
+				o.EchoesPerConn = 4
+			}
+			res, err := mopeye.RunFleetBench(o)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("Fleet fan-in — %d phones into one collector, in-process vs HTTP upload:\n", o.Phones)
+			fmt.Println(res)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
@@ -181,7 +197,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"table1", "table2", "table3", "table4", "fig5", "overhead", "parallel", "dispatch"} {
+		for _, name := range []string{"table1", "table2", "table3", "table4", "fig5", "overhead", "parallel", "dispatch", "fleet"} {
 			run(name)
 		}
 		return

@@ -1,0 +1,230 @@
+package crowd
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/measure"
+)
+
+// Server is the collector side of the crowdsourcing wire protocol:
+// the net/http handler behind `cmd/collectord`. Phones POST batches
+// (measure wire encoding) to /v1/upload; the server authenticates the
+// device stamp (and the shared token, when configured), deduplicates
+// on the batch idempotency key, appends accepted batches to a durable
+// spool, and keeps the dataset in memory so /v1/records and Ingest()
+// can feed the §4.2 analysis pipeline at any moment. Exactly-once
+// records from at-least-once delivery: the upload transport retries
+// freely, the key dedup makes redelivery harmless.
+
+// Upload protocol headers.
+const (
+	// DeviceHeader carries the uploading phone's device stamp; it must
+	// be present and match the batch header's device.
+	DeviceHeader = "X-Mopeye-Device"
+)
+
+// ServerOptions configures a collector server.
+type ServerOptions struct {
+	// SpoolDir, when non-empty, is the durable spool directory: every
+	// accepted batch is appended there, and an existing spool is
+	// replayed at construction (records and dedup keys both survive a
+	// restart). Empty keeps the dataset memory-only.
+	SpoolDir string
+	// Token, when non-empty, is the shared bearer token every request
+	// must present ("Authorization: Bearer <token>").
+	Token string
+	// MaxBatchBytes bounds one upload body. Default 8 MiB.
+	MaxBatchBytes int64
+}
+
+// ServerStats counts what the server has seen.
+type ServerStats struct {
+	// Batches accepted (excluding duplicates), and Records within them.
+	Batches int
+	Records int
+	// Duplicates is redelivered batches absorbed by key dedup.
+	Duplicates int
+	// AuthFailures counts rejected tokens and device-stamp mismatches.
+	AuthFailures int
+	// BadRequests counts malformed uploads.
+	BadRequests int
+}
+
+// Server is the HTTP collector. It implements http.Handler.
+type Server struct {
+	o   ServerOptions
+	mux *http.ServeMux
+
+	mu    sync.Mutex
+	keys  map[string]struct{}
+	recs  []measure.Record
+	spool *Spool
+	stats ServerStats
+}
+
+// NewServer builds a collector server, replaying the spool when one is
+// configured.
+func NewServer(o ServerOptions) (*Server, error) {
+	if o.MaxBatchBytes <= 0 {
+		o.MaxBatchBytes = 8 << 20
+	}
+	s := &Server{o: o, keys: make(map[string]struct{})}
+	if o.SpoolDir != "" {
+		spool, batches, err := OpenSpool(o.SpoolDir)
+		if err != nil {
+			return nil, err
+		}
+		s.spool = spool
+		for _, b := range batches {
+			s.keys[b.Key] = struct{}{}
+			s.recs = append(s.recs, stampRecords(b)...)
+			s.stats.Batches++
+			s.stats.Records += len(b.Records)
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/upload", s.handleUpload)
+	mux.HandleFunc("GET /v1/records", s.handleRecords)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP dispatches the collector API. The health probe is exempt
+// from the token gate — liveness checkers rarely carry credentials,
+// and an unauthenticated "ok" reveals nothing about the dataset.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.o.Token != "" && r.URL.Path != "/healthz" && !s.authorized(r) {
+		s.mu.Lock()
+		s.stats.AuthFailures++
+		s.mu.Unlock()
+		http.Error(w, "bad token", http.StatusUnauthorized)
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// authorized checks the shared bearer token in constant time.
+func (s *Server) authorized(r *http.Request) bool {
+	got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	return ok && subtle.ConstantTimeCompare([]byte(got), []byte(s.o.Token)) == 1
+}
+
+// uploadReply is the /v1/upload response body.
+type uploadReply struct {
+	Status  string `json:"status"` // "accepted" or "duplicate"
+	Records int    `json:"records"`
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	// Device-stamp authentication: an upload must declare who it is
+	// for, and the declaration must match the signed batch header — a
+	// mislabelled relay cannot attribute records to another phone.
+	device := r.Header.Get(DeviceHeader)
+	if device == "" {
+		s.countAuthFailure()
+		http.Error(w, "missing "+DeviceHeader, http.StatusForbidden)
+		return
+	}
+	b, err := measure.DecodeBatch(http.MaxBytesReader(w, r.Body, s.o.MaxBatchBytes))
+	if err != nil {
+		s.mu.Lock()
+		s.stats.BadRequests++
+		s.mu.Unlock()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if b.Device != device {
+		s.countAuthFailure()
+		http.Error(w, "device stamp mismatch", http.StatusForbidden)
+		return
+	}
+
+	s.mu.Lock()
+	if _, dup := s.keys[b.Key]; dup {
+		s.stats.Duplicates++
+		s.mu.Unlock()
+		writeJSON(w, uploadReply{Status: "duplicate"})
+		return
+	}
+	// Spool first, then commit: a failed append leaves the key unseen,
+	// so the phone's retry gets another chance at durability.
+	if s.spool != nil {
+		if err := s.spool.Append(b); err != nil {
+			s.mu.Unlock()
+			http.Error(w, "spool: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	s.keys[b.Key] = struct{}{}
+	s.recs = append(s.recs, stampRecords(b)...)
+	s.stats.Batches++
+	s.stats.Records += len(b.Records)
+	s.mu.Unlock()
+	writeJSON(w, uploadReply{Status: "accepted", Records: len(b.Records)})
+}
+
+func (s *Server) countAuthFailure() {
+	s.mu.Lock()
+	s.stats.AuthFailures++
+	s.mu.Unlock()
+}
+
+func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	recs := s.Records()
+	w.Header().Set("Content-Type", "application/jsonl")
+	if err := measure.WriteJSONL(w, recs); err != nil {
+		// Mid-stream failure; the status line is already gone.
+		return
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// Records returns a copy of the accepted dataset in arrival order,
+// device-stamped.
+func (s *Server) Records() []measure.Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]measure.Record(nil), s.recs...)
+}
+
+// Ingest assembles the accepted dataset for the §4.2 analysis
+// pipeline — what `crowdstudy -serve` runs against a live collector.
+func (s *Server) Ingest() *Dataset {
+	return Ingest(s.Records())
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close releases the spool (accepted data stays readable in memory).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	spool := s.spool
+	s.spool = nil
+	s.mu.Unlock()
+	if spool == nil {
+		return nil
+	}
+	return spool.Close()
+}

@@ -1,0 +1,167 @@
+package crowd
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/measure"
+)
+
+// The spool is the collector server's durable store: every accepted
+// batch is appended to one file in the batch wire format
+// (measure.EncodeBatch), so the file is simultaneously the dedup
+// journal (keys replay with the batches) and the dataset (records
+// replay in arrival order). A crash can leave at most one partial
+// batch at the tail; replay stops there, the file is truncated back to
+// the last complete batch, and the phone's retry — same idempotency
+// key — redelivers what was lost. Delivery is at-least-once, the
+// spool is exactly-once after replay dedup.
+
+// spoolFile is the single append-only batch log inside a spool dir.
+const spoolFile = "batches.jsonl"
+
+// Spool is an append-only batch log rooted at a directory.
+type Spool struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenSpool opens (creating if needed) the spool in dir and replays
+// it: the returned batches are every complete batch in append order,
+// deduplicated by idempotency key. A partial batch at the tail —
+// the residue of a crashed append — is discarded and truncated away so
+// subsequent appends produce a clean log.
+func OpenSpool(dir string) (*Spool, []measure.Batch, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("crowd: spool dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, spoolFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("crowd: spool open: %w", err)
+	}
+	batches, goodOff, err := replaySpool(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if err := f.Truncate(goodOff); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("crowd: spool truncate: %w", err)
+	}
+	if _, err := f.Seek(goodOff, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("crowd: spool seek: %w", err)
+	}
+	return &Spool{f: f}, batches, nil
+}
+
+// replaySpool reads complete batches (deduped by key) and reports the
+// byte offset of the durable prefix. Decode errors — truncation or
+// tail corruption — end the replay rather than failing it: everything
+// before the bad entry is intact and served; the bad entry's sender
+// retries with the same key.
+func replaySpool(r io.Reader) ([]measure.Batch, int64, error) {
+	dec := measure.NewBatchDecoder(r)
+	var batches []measure.Batch
+	seen := make(map[string]struct{})
+	var off int64
+	for {
+		b, err := dec.Next()
+		if err != nil {
+			if err == io.EOF {
+				return batches, off, nil
+			}
+			// Partial or corrupt tail: keep the durable prefix.
+			return batches, off, nil
+		}
+		off = dec.InputOffset()
+		if _, dup := seen[b.Key]; dup {
+			continue
+		}
+		seen[b.Key] = struct{}{}
+		batches = append(batches, b)
+	}
+}
+
+// Append writes one batch to the log: the batch is encoded in memory
+// and lands in one file write, and a failed or short write truncates
+// the file back to its pre-append length — the log never holds a
+// partial entry in the middle, so the "at most one partial batch, at
+// the tail, from a crash" replay contract survives IO errors too.
+// Durability is the OS page cache's (no fsync per batch — see
+// DESIGN.md for the crash window contract).
+func (s *Spool) Append(b measure.Batch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("crowd: append on closed spool")
+	}
+	var buf bytes.Buffer
+	if err := measure.EncodeBatch(&buf, b); err != nil {
+		return err
+	}
+	off, err := s.f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return fmt.Errorf("crowd: spool offset: %w", err)
+	}
+	if _, err := s.f.Write(buf.Bytes()); err != nil {
+		// Heal in place: drop whatever partial bytes made it out so the
+		// next append starts at a batch boundary. The batch's key was
+		// never committed; the sender's retry redelivers it.
+		s.f.Truncate(off)
+		s.f.Seek(off, io.SeekStart)
+		return fmt.Errorf("crowd: spool append: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (s *Spool) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// ReadSpool loads the deduplicated records from a spool directory
+// without opening it for writing — the `crowdstudy -spool` path for
+// analysing a collectord's dataset offline. Records keep arrival
+// order; empty-device records are stamped with their batch's device,
+// mirroring what the server did (or would have done) at accept time.
+func ReadSpool(dir string) ([]measure.Record, error) {
+	f, err := os.Open(filepath.Join(dir, spoolFile))
+	if err != nil {
+		return nil, fmt.Errorf("crowd: spool read: %w", err)
+	}
+	defer f.Close()
+	batches, _, err := replaySpool(f)
+	if err != nil {
+		return nil, err
+	}
+	var recs []measure.Record
+	for _, b := range batches {
+		recs = append(recs, stampRecords(b)...)
+	}
+	return recs, nil
+}
+
+// stampRecords applies the batch's device attribution to records that
+// arrived without one, returning a copy.
+func stampRecords(b measure.Batch) []measure.Record {
+	out := make([]measure.Record, len(b.Records))
+	for i, r := range b.Records {
+		if r.Device == "" {
+			r.Device = b.Device
+		}
+		out[i] = r
+	}
+	return out
+}

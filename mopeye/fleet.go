@@ -1,0 +1,248 @@
+package mopeye
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/measure"
+)
+
+// This file is the multi-phone scenario layer: the paper's deployment
+// is thousands of phones uploading into one collector, and Fleet is
+// the API that finally exercises that shape in-process — N simulated
+// phones with heterogeneous per-phone options (RTT profiles, app
+// mixes, seeds, worker counts), each running its own workload, all
+// fanning their Collector uploads into one shared Transport. The
+// fleet owns phone lifecycle (construct, attach, run, close — per
+// phone), aggregates stats, and surfaces per-phone errors without
+// letting one phone's failure stop the rest.
+
+// FleetPhone describes one phone of a fleet.
+type FleetPhone struct {
+	// Device is the phone's device stamp in the crowdsourced dataset.
+	// Required, and usually unique — two FleetPhones may share a stamp
+	// (a reinstalled device), in which case their records merge into
+	// one device at analysis time while their uploads stay
+	// independently keyed.
+	Device string
+	// Options configures the phone; fully heterogeneous across the
+	// fleet (RTT profiles, servers, seeds, worker counts...).
+	Options Options
+	// Apps maps UID → package to install before the workload runs.
+	Apps map[int]string
+	// Workload drives the phone's traffic; the fleet closes the phone
+	// when it returns. Required.
+	Workload func(ctx context.Context, p *Phone) error
+}
+
+// FleetOptions configures a fleet.
+type FleetOptions struct {
+	// Phones is the fleet roster. At least one is required.
+	Phones []FleetPhone
+	// Transport is the shared upload path every phone's Collector
+	// ships through (one HTTPTransport, one collector server — the
+	// paper's fan-in). nil keeps each phone's uploads in-process; the
+	// merged dataset is still available via Records/Study. The fleet
+	// never closes the Transport — its owner does, after Run returns.
+	Transport Transport
+	// Collector is the per-phone upload policy template; Device (and
+	// Transport) are overridden per phone.
+	Collector CollectorOptions
+	// Concurrency bounds how many phones run at once; 0 or less runs
+	// the whole fleet concurrently.
+	Concurrency int
+}
+
+// FleetPhoneStatus is one phone's outcome.
+type FleetPhoneStatus struct {
+	Device string
+	// Records and Uploads are what this phone's collector shipped.
+	Records int
+	Uploads int
+	// Err is the phone's failure: construction, workload, or sink
+	// (first of them to occur). nil on success.
+	Err error
+}
+
+// FleetStats aggregates a completed run.
+type FleetStats struct {
+	Phones   int
+	Failed   int
+	Records  int
+	Uploads  int
+	Duration time.Duration
+}
+
+// Fleet runs N phones into one collector. Construct with NewFleet,
+// drive with Run (once), then read Stats, PhoneStatuses, Records, or
+// Study.
+type Fleet struct {
+	o FleetOptions
+
+	mu         sync.Mutex
+	ran        bool
+	status     []FleetPhoneStatus
+	collectors []*Collector
+	dur        time.Duration
+}
+
+// NewFleet validates the roster and builds a fleet.
+func NewFleet(o FleetOptions) (*Fleet, error) {
+	if len(o.Phones) == 0 {
+		return nil, errors.New("mopeye: fleet without phones")
+	}
+	for i, p := range o.Phones {
+		if p.Device == "" {
+			return nil, fmt.Errorf("mopeye: fleet phone %d without a device stamp", i)
+		}
+		if p.Workload == nil {
+			return nil, fmt.Errorf("mopeye: fleet phone %q without a workload", p.Device)
+		}
+	}
+	return &Fleet{o: o}, nil
+}
+
+// Run constructs and runs every phone: build, attach a device-stamped
+// Collector on the shared Transport, install apps, run the workload,
+// close (which flushes the final batch). Phones run concurrently up
+// to Concurrency; one phone's failure never stops another. Run
+// returns the joined per-phone errors (nil when every phone
+// succeeded) and may be called once.
+func (f *Fleet) Run(ctx context.Context) error {
+	f.mu.Lock()
+	if f.ran {
+		f.mu.Unlock()
+		return errors.New("mopeye: fleet already ran")
+	}
+	f.ran = true
+	f.status = make([]FleetPhoneStatus, len(f.o.Phones))
+	f.collectors = make([]*Collector, len(f.o.Phones))
+	f.mu.Unlock()
+
+	sem := make(chan struct{}, f.concurrency())
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range f.o.Phones {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			f.runPhone(ctx, i)
+		}(i)
+	}
+	wg.Wait()
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dur = time.Since(start)
+	var errs []error
+	for _, st := range f.status {
+		if st.Err != nil {
+			errs = append(errs, st.Err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (f *Fleet) concurrency() int {
+	if f.o.Concurrency > 0 {
+		return f.o.Concurrency
+	}
+	return len(f.o.Phones)
+}
+
+// runPhone is one phone's full lifecycle; its outcome lands in
+// f.status[i].
+func (f *Fleet) runPhone(ctx context.Context, i int) {
+	spec := f.o.Phones[i]
+	st := FleetPhoneStatus{Device: spec.Device}
+	defer func() {
+		f.mu.Lock()
+		f.status[i] = st
+		f.mu.Unlock()
+	}()
+	fail := func(err error) {
+		if st.Err == nil && err != nil {
+			st.Err = fmt.Errorf("phone %q: %w", spec.Device, err)
+		}
+	}
+
+	phone, err := New(spec.Options)
+	if err != nil {
+		fail(err)
+		return
+	}
+	colOpts := f.o.Collector
+	colOpts.Device = spec.Device
+	colOpts.Transport = f.o.Transport
+	col := NewCollector(colOpts)
+	f.mu.Lock()
+	f.collectors[i] = col
+	f.mu.Unlock()
+	attached, err := phone.Attach(col)
+	if err != nil {
+		phone.Close()
+		fail(err)
+		return
+	}
+	for uid, pkg := range spec.Apps {
+		phone.InstallApp(uid, pkg)
+	}
+	werr := spec.Workload(ctx, phone)
+	// Close flushes the collector's final batch through the attach
+	// drain before returning.
+	phone.Close()
+	fail(werr)
+	fail(attached.Err())
+	st.Records = len(col.Records())
+	st.Uploads = col.Uploads()
+}
+
+// Stats aggregates the run.
+func (f *Fleet) Stats() FleetStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := FleetStats{Phones: len(f.o.Phones), Duration: f.dur}
+	for _, st := range f.status {
+		if st.Err != nil {
+			s.Failed++
+		}
+		s.Records += st.Records
+		s.Uploads += st.Uploads
+	}
+	return s
+}
+
+// PhoneStatuses returns every phone's outcome, in roster order.
+func (f *Fleet) PhoneStatuses() []FleetPhoneStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]FleetPhoneStatus(nil), f.status...)
+}
+
+// Records merges every phone's uploaded records (the local mirrors) in
+// canonical order — the fleet-side copy of the dataset the collector
+// server assembled, directly comparable record for record.
+func (f *Fleet) Records() []Measurement {
+	f.mu.Lock()
+	cols := append([]*Collector(nil), f.collectors...)
+	f.mu.Unlock()
+	var recs []measure.Record
+	for _, c := range cols {
+		if c != nil {
+			recs = append(recs, c.Records()...)
+		}
+	}
+	measure.SortCanonical(recs)
+	return recs
+}
+
+// Study runs the §4.2 analysis pipeline over the fleet's merged
+// records.
+func (f *Fleet) Study() *Study {
+	return NewStudyFrom(f.Records())
+}

@@ -1,0 +1,239 @@
+package mopeye
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"repro/internal/crowd"
+)
+
+// This file is the fleet fan-in benchmark behind `paperbench -exp
+// fleet` and BenchmarkFleetFanIn: N loopback phones run the same echo
+// workload while their Collectors upload into one destination, once
+// in-process (Transport nil — PR 4's ceiling, the number HTTP overhead
+// is judged against) and once over the wire (HTTPTransport → a local
+// crowd.Server). The interesting deltas are wall-clock (what the HTTP
+// hop costs the phones) and the end-of-run invariant that the server
+// holds exactly the fleet's records.
+
+// FleetBenchOptions configures the fan-in benchmark.
+type FleetBenchOptions struct {
+	// Phones is the fleet size. Default 8.
+	Phones int
+	// ConnsPerPhone / EchoesPerConn / PayloadBytes shape each phone's
+	// workload; each connection yields one RTT record, so connections
+	// (not echoes) drive the upload volume. Defaults 12 / 10 / 600.
+	ConnsPerPhone int
+	EchoesPerConn int
+	PayloadBytes  int
+	// BatchSize is the collectors' upload batch size. Default 4 —
+	// small enough that the wire is exercised repeatedly per phone.
+	BatchSize int
+	// Workers is the per-phone engine worker count. Default 1.
+	Workers int
+	// Modes selects which rows run: "inproc", "http". Default both.
+	Modes []string
+}
+
+// DefaultFleetBenchOptions returns the standard fan-in workload.
+func DefaultFleetBenchOptions() FleetBenchOptions {
+	return FleetBenchOptions{
+		Phones:        8,
+		ConnsPerPhone: 12,
+		EchoesPerConn: 10,
+		PayloadBytes:  600,
+		BatchSize:     4,
+		Workers:       1,
+		Modes:         []string{"inproc", "http"},
+	}
+}
+
+// FleetBenchRow is one mode's result.
+type FleetBenchRow struct {
+	Mode          string
+	Phones        int
+	Duration      time.Duration
+	Records       int // records the fleet uploaded (local mirrors)
+	RecordsPerSec float64
+	Uploads       int // batches shipped by the collectors
+	// ServerRecords/ServerBatches/Duplicates describe the collector
+	// server's view (http mode only; zero otherwise).
+	ServerRecords int
+	ServerBatches int
+	Duplicates    int
+}
+
+// FleetBenchResult is the full run.
+type FleetBenchResult struct {
+	Options FleetBenchOptions
+	Rows    []FleetBenchRow
+}
+
+// Row returns the named mode's row (nil when absent).
+func (r *FleetBenchResult) Row(mode string) *FleetBenchRow {
+	for i := range r.Rows {
+		if r.Rows[i].Mode == mode {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// String renders the run as a table.
+func (r *FleetBenchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %7s %10s %9s %9s %12s %10s %9s\n",
+		"mode", "phones", "duration", "records", "uploads", "recs/sec", "srv-recs", "srv-dups")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %7d %10s %9d %9d %12.0f %10d %9d\n",
+			row.Mode, row.Phones, row.Duration.Round(time.Millisecond), row.Records,
+			row.Uploads, row.RecordsPerSec, row.ServerRecords, row.Duplicates)
+	}
+	return b.String()
+}
+
+// RunFleetBench runs the fan-in workload once per mode.
+func RunFleetBench(o FleetBenchOptions) (*FleetBenchResult, error) {
+	if o.Phones <= 0 {
+		o.Phones = 8
+	}
+	if o.ConnsPerPhone <= 0 {
+		o.ConnsPerPhone = 4
+	}
+	if o.EchoesPerConn <= 0 {
+		o.EchoesPerConn = 30
+	}
+	if o.PayloadBytes <= 0 {
+		o.PayloadBytes = 600
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 8
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if len(o.Modes) == 0 {
+		o.Modes = []string{"inproc", "http"}
+	}
+	res := &FleetBenchResult{Options: o}
+	for _, mode := range o.Modes {
+		row, err := runFleetOnce(o, mode)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// fleetBenchRoster builds the N-phone roster: loopback phones, one
+// server and app each, distinct seeds, the shared echo workload.
+func fleetBenchRoster(o FleetBenchOptions) []FleetPhone {
+	phones := make([]FleetPhone, o.Phones)
+	payload := make([]byte, o.PayloadBytes)
+	for i := range phones {
+		addr := fmt.Sprintf("203.0.113.%d:80", 30+i)
+		uid := 30001 + i
+		phones[i] = FleetPhone{
+			Device: fmt.Sprintf("fleet-%03d", i+1),
+			Options: Options{
+				Servers:  []Server{{Domain: fmt.Sprintf("fleet%d.example", i), Addr: addr}},
+				Workers:  o.Workers,
+				Loopback: true,
+				Seed:     int64(1000 + i),
+			},
+			Apps: map[int]string{uid: fmt.Sprintf("fleet.app%d", i)},
+			Workload: func(ctx context.Context, p *Phone) error {
+				buf := make([]byte, len(payload))
+				for c := 0; c < o.ConnsPerPhone; c++ {
+					conn, err := p.Connect(uid, addr)
+					if err != nil {
+						return err
+					}
+					for e := 0; e < o.EchoesPerConn; e++ {
+						if _, err := conn.Write(payload); err != nil {
+							conn.Close()
+							return err
+						}
+						if err := conn.ReadFull(buf); err != nil {
+							conn.Close()
+							return err
+						}
+					}
+					conn.Close()
+				}
+				return nil
+			},
+		}
+	}
+	return phones
+}
+
+// runFleetOnce runs one mode and checks the end-of-run invariants.
+func runFleetOnce(o FleetBenchOptions, mode string) (FleetBenchRow, error) {
+	fo := FleetOptions{
+		Phones:    fleetBenchRoster(o),
+		Collector: CollectorOptions{BatchSize: o.BatchSize},
+	}
+	var srv *crowd.Server
+	var ts *httptest.Server
+	var transport *HTTPTransport
+	switch mode {
+	case "inproc":
+	case "http":
+		var err error
+		srv, err = crowd.NewServer(crowd.ServerOptions{})
+		if err != nil {
+			return FleetBenchRow{}, err
+		}
+		ts = httptest.NewServer(srv)
+		defer ts.Close()
+		transport = NewHTTPTransport(ts.URL, HTTPTransportOptions{QueueSize: 4 * o.Phones})
+		fo.Transport = transport
+	default:
+		return FleetBenchRow{}, fmt.Errorf("mopeye: unknown fleet bench mode %q", mode)
+	}
+
+	fleet, err := NewFleet(fo)
+	if err != nil {
+		return FleetBenchRow{}, err
+	}
+	start := time.Now()
+	if err := fleet.Run(context.Background()); err != nil {
+		return FleetBenchRow{}, err
+	}
+	if transport != nil {
+		// The timed region includes draining the upload queue: the
+		// fan-in is not done until the collector has everything.
+		if err := transport.Close(); err != nil {
+			return FleetBenchRow{}, err
+		}
+	}
+	dur := time.Since(start)
+
+	st := fleet.Stats()
+	row := FleetBenchRow{
+		Mode:          mode,
+		Phones:        o.Phones,
+		Duration:      dur,
+		Records:       st.Records,
+		RecordsPerSec: float64(st.Records) / dur.Seconds(),
+		Uploads:       st.Uploads,
+	}
+	if srv != nil {
+		ss := srv.Stats()
+		row.ServerRecords = ss.Records
+		row.ServerBatches = ss.Batches
+		row.Duplicates = ss.Duplicates
+		if ts := transport.Stats(); ts.Dropped > 0 || ts.Failed > 0 {
+			return row, fmt.Errorf("mopeye: fleet bench lost batches (dropped %d, failed %d)", ts.Dropped, ts.Failed)
+		}
+		if row.ServerRecords != row.Records {
+			return row, fmt.Errorf("mopeye: server holds %d records, fleet uploaded %d", row.ServerRecords, row.Records)
+		}
+	}
+	return row, nil
+}

@@ -1,0 +1,77 @@
+package mopeye
+
+import (
+	"strings"
+	"testing"
+)
+
+// The fan-in benchmark is also the fleet's consistency harness: both
+// modes must complete with the fleet's records intact, and the http
+// row must verify the server ended up with exactly the fleet's
+// dataset (runFleetOnce errors otherwise).
+func TestRunFleetBenchBothModes(t *testing.T) {
+	o := DefaultFleetBenchOptions()
+	o.Phones = 3
+	o.ConnsPerPhone = 4
+	o.EchoesPerConn = 2
+	res, err := RunFleetBench(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	inproc, http := res.Row("inproc"), res.Row("http")
+	if inproc == nil || http == nil {
+		t.Fatalf("missing rows: %+v", res.Rows)
+	}
+	wantRecs := o.Phones * o.ConnsPerPhone // one TCP RTT per connection
+	if inproc.Records != wantRecs || http.Records != wantRecs {
+		t.Errorf("records: inproc %d http %d, want %d", inproc.Records, http.Records, wantRecs)
+	}
+	if http.ServerRecords != wantRecs {
+		t.Errorf("server records: %d, want %d", http.ServerRecords, wantRecs)
+	}
+	if inproc.ServerRecords != 0 || inproc.Duplicates != 0 {
+		t.Errorf("inproc row grew server columns: %+v", inproc)
+	}
+	if res.Row("nope") != nil {
+		t.Error("Row invented a mode")
+	}
+	out := res.String()
+	for _, want := range []string{"inproc", "http", "srv-recs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := RunFleetBench(FleetBenchOptions{Modes: []string{"bogus"}, Phones: 1}); err == nil {
+		t.Error("bogus mode accepted")
+	}
+}
+
+// Fleet.Study feeds the merged mirrors into the analysis pipeline.
+func TestFleetStudySmoke(t *testing.T) {
+	o := DefaultFleetBenchOptions()
+	o.Phones = 2
+	o.ConnsPerPhone = 3
+	o.EchoesPerConn = 1
+	o.Modes = []string{"inproc"}
+	fo := FleetOptions{Phones: fleetBenchRoster(o), Collector: CollectorOptions{BatchSize: 2}}
+	fleet, err := NewFleet(fo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.Run(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	st := fleet.Study()
+	if got := len(st.Dataset().Records); got != 6 {
+		t.Fatalf("study records: %d", got)
+	}
+	if len(st.Dataset().Devices) != 2 {
+		t.Errorf("study devices: %d", len(st.Dataset().Devices))
+	}
+	if st.Summary() == "" {
+		t.Error("empty summary")
+	}
+}

@@ -29,6 +29,14 @@
 // (stream.go, sink.go). The snapshot accessors above remain as pull-style views
 // over the same pipeline.
 //
+// The Collector's upload side is a pluggable Transport (transport.go):
+// HTTPTransport ships idempotency-keyed batches to a collector server
+// (cmd/collectord) with retry and a bounded in-flight queue, and the
+// server's dedup makes delivery exactly-once; FuncTransport keeps
+// in-process consumers working. Fleet (fleet.go) runs N heterogeneous
+// phones fanning their uploads into one Transport — the paper's
+// deployment shape as an API.
+//
 // Beyond the live engine, the package exposes the paper's evaluation
 // (RunTable1 … RunTable4, RunFig5) and the crowdsourcing study
 // (NewStudy, and NewStudyFrom for collected records), which regenerate

@@ -1,6 +1,10 @@
 package mopeye
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
 	"io"
 	"sync"
 	"time"
@@ -107,8 +111,9 @@ type CollectorOptions struct {
 	BatchSize int
 	// Interval additionally uploads a non-empty pending batch when
 	// this much time has passed since the last upload, checked as
-	// measurements arrive. Zero disables interval uploads (the default:
-	// size-and-flush only, which keeps tests deterministic).
+	// measurements arrive. Zero or negative disables interval uploads
+	// (the default: size-and-flush only, which keeps tests
+	// deterministic).
 	Interval time.Duration
 	// Device stamps uploaded records that carry no device attribution,
 	// identifying this phone in the crowdsourced dataset. Default
@@ -117,17 +122,40 @@ type CollectorOptions struct {
 	// MinPerApp is the minimum records per app for the per-app median
 	// aggregate recomputed on each upload. Default 1.
 	MinPerApp int
+	// Transport, when set, ships every batch toward a collector server
+	// — HTTPTransport for the wire, FuncTransport/TransportFunc for
+	// in-process consumers. Each batch carries the device stamp, a
+	// 1-based sequence number, and an idempotency key unique to this
+	// collector, so redelivered batches dedup server-side. Upload is
+	// called with the collector's lock held and must not block on the
+	// network (HTTPTransport enqueues) or call back into the
+	// collector. nil keeps uploads in-process only: the local dataset
+	// (Records, AppMedians, Study) is maintained either way, and the
+	// collector never closes the transport — the owner does, after
+	// every phone sharing it has flushed.
+	Transport Transport
 
 	// now is the clock, overridable in tests.
 	now func() time.Time
+	// nonce overrides the random per-collector key component in tests.
+	nonce string
 }
 
-// Collector is the crowdsourcing server stand-in: a Sink that batches
-// a phone's measurements by size/interval the way MopEye's uploader
-// does, maintains the server-side aggregate (per-app median RTTs,
-// recomputed on every upload), and feeds the §4.2 analysis pipeline —
-// Study() hands the uploaded records to the same code that analyses
-// the paper's 5.25M-record deployment dataset.
+// Collector is the phone-side uploader: a Sink that batches a phone's
+// measurements by size/interval the way MopEye's uploader does, stamps
+// them with the device identity, and ships each batch through its
+// Transport — HTTPTransport to a live collector server
+// (cmd/collectord), or in-process when no Transport is set. It also
+// maintains the local mirror of everything uploaded (per-app median
+// RTTs recomputed on every upload, Records, and Study(), which hands
+// the records to the same §4.2 code that analyses the paper's
+// 5.25M-record deployment dataset).
+//
+// Deprecated consumption pattern: reading Collector.Records() from a
+// callback-shaped integration. New code should set
+// CollectorOptions.Transport — FuncTransport adapts a bare
+// func([]Measurement) error during migration — so the upload path is
+// explicit and can move onto the wire without touching the policy.
 type Collector struct {
 	mu         sync.Mutex
 	o          CollectorOptions
@@ -135,6 +163,9 @@ type Collector struct {
 	uploaded   []measure.Record
 	uploads    int
 	lastUpload time.Time
+	// nonce makes this collector's idempotency keys unique even when
+	// two phones share a device stamp.
+	nonce string
 }
 
 // NewCollector builds a collector with the given upload policy.
@@ -151,18 +182,26 @@ func NewCollector(o CollectorOptions) *Collector {
 	if o.now == nil {
 		o.now = time.Now
 	}
-	return &Collector{o: o, lastUpload: o.now()}
+	nonce := o.nonce
+	if nonce == "" {
+		var raw [8]byte
+		rand.Read(raw[:]) // never fails (crypto/rand panics instead)
+		nonce = hex.EncodeToString(raw[:])
+	}
+	return &Collector{o: o, lastUpload: o.now(), nonce: nonce}
 }
 
 // Accept queues one measurement, uploading when the batch-size or
-// interval policy fires. Never returns an error.
+// interval policy fires. With no Transport it never returns an error;
+// with one, a synchronous transport error is returned (and detaches
+// an Attach-driven collector, like any failing sink).
 func (c *Collector) Accept(m Measurement) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.pending = append(c.pending, m)
 	if len(c.pending) >= c.o.BatchSize ||
 		(c.o.Interval > 0 && c.o.now().Sub(c.lastUpload) >= c.o.Interval) {
-		c.upload()
+		return c.upload()
 	}
 	return nil
 }
@@ -171,29 +210,45 @@ func (c *Collector) Accept(m Measurement) error {
 func (c *Collector) Flush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.upload()
-	return nil
+	return c.upload()
 }
 
 // Close performs the final upload. The collector's uploaded dataset
-// remains readable afterwards.
+// remains readable afterwards; a shared Transport is left open for
+// its owner to close.
 func (c *Collector) Close() error { return c.Flush() }
 
 // upload moves the pending batch server-side: stamps the device
-// attribution and appends to the uploaded dataset. Caller holds c.mu.
-func (c *Collector) upload() {
+// attribution, appends to the local uploaded dataset, and — when a
+// Transport is configured — ships the batch under a fresh idempotency
+// key. An empty pending batch is suppressed entirely: no sequence
+// number is consumed and the transport is not called. Caller holds
+// c.mu.
+func (c *Collector) upload() error {
 	if len(c.pending) == 0 {
-		return
+		return nil
 	}
+	stamped := make([]measure.Record, 0, len(c.pending))
 	for _, r := range c.pending {
 		if r.Device == "" {
 			r.Device = c.o.Device
 		}
-		c.uploaded = append(c.uploaded, r)
+		stamped = append(stamped, r)
 	}
+	c.uploaded = append(c.uploaded, stamped...)
 	c.pending = c.pending[:0]
 	c.uploads++
 	c.lastUpload = c.o.now()
+	if c.o.Transport == nil {
+		return nil
+	}
+	b := Batch{
+		Device:  c.o.Device,
+		Seq:     c.uploads,
+		Key:     fmt.Sprintf("%s/%s/%06d", c.o.Device, c.nonce, c.uploads),
+		Records: stamped,
+	}
+	return c.o.Transport.Upload(context.Background(), b)
 }
 
 func filterTCP(recs []measure.Record) []measure.Record {

@@ -2,6 +2,8 @@ package mopeye
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"net/netip"
 	"testing"
 	"time"
@@ -163,6 +165,146 @@ func TestCollectorMediansAndDeviceStamp(t *testing.T) {
 	recs := c.Records()
 	if got := recs[len(recs)-1].Device; got != "device-original" {
 		t.Errorf("pre-attributed device overwritten: %q", got)
+	}
+}
+
+// Zero and negative intervals both disable interval uploads entirely:
+// only the size policy and explicit flushes ship batches.
+func TestCollectorZeroAndNegativeInterval(t *testing.T) {
+	for _, interval := range []time.Duration{0, -time.Minute} {
+		now := time.Unix(1000, 0)
+		c := NewCollector(CollectorOptions{
+			BatchSize: 1000,
+			Interval:  interval,
+			now:       func() time.Time { return now },
+		})
+		for i := 0; i < 10; i++ {
+			now = now.Add(time.Hour) // hours pass between measurements
+			if err := c.Accept(sinkRec("a", 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if c.Uploads() != 0 {
+			t.Errorf("interval %v: %d interval uploads fired", interval, c.Uploads())
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if c.Uploads() != 1 || c.Pending() != 0 {
+			t.Errorf("interval %v: close flush missing (uploads %d pending %d)",
+				interval, c.Uploads(), c.Pending())
+		}
+	}
+}
+
+// Close during an in-flight upload: Close blocks until the wedged
+// transport delivery completes, then performs its own final flush —
+// nothing is lost, nothing ships twice.
+func TestCollectorCloseDuringInFlightUpload(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	var batches []Batch
+	c := NewCollector(CollectorOptions{
+		BatchSize: 2,
+		Device:    "inflight",
+		Transport: TransportFunc(func(_ context.Context, b Batch) error {
+			entered <- struct{}{}
+			<-gate // the wire is wedged
+			batches = append(batches, b)
+			return nil
+		}),
+	})
+
+	acceptDone := make(chan error, 1)
+	go func() {
+		c.Accept(sinkRec("a", 1))
+		acceptDone <- c.Accept(sinkRec("a", 2)) // second accept triggers the upload
+	}()
+	<-entered // the upload is now in flight
+
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- c.Close() }()
+	select {
+	case <-closeDone:
+		t.Fatal("Close returned while an upload was in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(gate) // the wire heals
+	if err := <-acceptDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-closeDone; err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 1 {
+		t.Fatalf("batches delivered: %d, want 1 (close must not reship or drop)", len(batches))
+	}
+	if got := len(batches[0].Records); got != 2 {
+		t.Errorf("in-flight batch records: %d", got)
+	}
+	if got := len(c.Records()); got != 2 {
+		t.Errorf("mirror records: %d", got)
+	}
+}
+
+// Empty batches are suppressed end to end: no upload counted, no
+// sequence number consumed, no transport call.
+func TestCollectorEmptyBatchSuppression(t *testing.T) {
+	calls := 0
+	c := NewCollector(CollectorOptions{
+		BatchSize: 4,
+		Transport: TransportFunc(func(_ context.Context, b Batch) error {
+			calls++
+			if len(b.Records) == 0 {
+				t.Error("empty batch reached the transport")
+			}
+			return nil
+		}),
+	})
+	for i := 0; i < 3; i++ {
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 || c.Uploads() != 0 {
+		t.Errorf("empty flushes shipped: calls %d uploads %d", calls, c.Uploads())
+	}
+	// One record, then the same flush storm: exactly one batch, seq 1.
+	c2calls := []Batch{}
+	c2 := NewCollector(CollectorOptions{BatchSize: 4,
+		Transport: TransportFunc(func(_ context.Context, b Batch) error {
+			c2calls = append(c2calls, b)
+			return nil
+		})})
+	c2.Accept(sinkRec("a", 1))
+	c2.Flush()
+	c2.Flush()
+	c2.Close()
+	if len(c2calls) != 1 || c2calls[0].Seq != 1 {
+		t.Errorf("post-record flush storm: %+v", c2calls)
+	}
+}
+
+// A synchronous transport error surfaces through the Sink interface.
+func TestCollectorTransportErrorPropagates(t *testing.T) {
+	boom := errors.New("wire down")
+	c := NewCollector(CollectorOptions{
+		BatchSize: 1,
+		Transport: TransportFunc(func(context.Context, Batch) error { return boom }),
+	})
+	if err := c.Accept(sinkRec("a", 1)); !errors.Is(err, boom) {
+		t.Errorf("Accept: %v", err)
+	}
+	c2 := NewCollector(CollectorOptions{
+		BatchSize: 100,
+		Transport: TransportFunc(func(context.Context, Batch) error { return boom }),
+	})
+	c2.Accept(sinkRec("a", 1))
+	if err := c2.Flush(); !errors.Is(err, boom) {
+		t.Errorf("Flush: %v", err)
 	}
 }
 

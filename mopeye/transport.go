@@ -1,0 +1,289 @@
+package mopeye
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/crowd"
+	"repro/internal/measure"
+)
+
+// This file is the upload side of the crowdsourcing API: the paper's
+// phones batch measurements locally and upload them to the collector
+// server over the network. Transport abstracts that hop so the
+// Collector's policy (when to upload) is independent of the wire (how
+// an upload travels): FuncTransport keeps the PR 4-era in-process
+// hand-off, HTTPTransport is the real wire — JSONL-over-HTTP POST with
+// exponential-backoff retry, per-batch idempotency keys, and a bounded
+// in-flight queue so a dead collector can never block or OOM the
+// phone (overflow drops are counted, the same contract as the
+// subscriber rings).
+
+// Batch is the unit of upload: one device's records under an
+// idempotency key. See measure.Batch for the wire encoding.
+type Batch = measure.Batch
+
+// Transport ships one batch toward a collector. Upload must not
+// block on the network: shipped implementations either enqueue
+// (HTTPTransport) or run in-process (FuncTransport). Upload may be
+// called concurrently by independent collectors (a Fleet shares one
+// transport across all phones); retries of a batch reuse its Key, and
+// a receiver deduplicating on Key sees each batch's records exactly
+// once no matter how delivery misbehaves.
+type Transport interface {
+	Upload(ctx context.Context, b Batch) error
+}
+
+// TransportFunc adapts a function to the Transport interface.
+type TransportFunc func(context.Context, Batch) error
+
+// Upload calls f.
+func (f TransportFunc) Upload(ctx context.Context, b Batch) error { return f(ctx, b) }
+
+// FuncTransport wraps a bare in-process upload function — the
+// migration shim for code that consumed Collector batches as plain
+// record slices before the Transport redesign. New code should accept
+// a Batch (TransportFunc) or speak the wire (HTTPTransport).
+func FuncTransport(fn func([]Measurement) error) Transport {
+	return TransportFunc(func(_ context.Context, b Batch) error {
+		return fn(b.Records)
+	})
+}
+
+// ErrTransportClosed is returned by Upload after Close.
+var ErrTransportClosed = errors.New("mopeye: transport closed")
+
+// HTTPTransportOptions tunes an HTTPTransport.
+type HTTPTransportOptions struct {
+	// Client overrides the HTTP client; default is a client with a
+	// 10-second per-attempt timeout.
+	Client *http.Client
+	// QueueSize bounds the in-flight batch queue. Uploads beyond it
+	// are dropped and counted, never blocked on — a phone must keep
+	// relaying when its collector is dead. Default 16.
+	QueueSize int
+	// MaxAttempts is the delivery attempts per batch (first try plus
+	// retries). Default 6.
+	MaxAttempts int
+	// BackoffBase is the first retry delay, doubled per attempt up to
+	// BackoffMax. Defaults 50ms and 2s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Token is the collector's shared bearer token, when it requires
+	// one.
+	Token string
+
+	// sleep is the backoff clock, overridable in tests.
+	sleep func(time.Duration)
+}
+
+// HTTPTransportStats counts a transport's lifetime activity.
+type HTTPTransportStats struct {
+	// Uploaded batches were acknowledged by the collector.
+	Uploaded uint64
+	// Retried counts delivery attempts beyond each batch's first.
+	Retried uint64
+	// Dropped batches never entered the queue (queue full at Upload).
+	Dropped uint64
+	// Failed batches exhausted their attempts or hit a terminal error.
+	Failed uint64
+}
+
+// HTTPTransport delivers batches to a collector server (crowd.Server /
+// cmd/collectord) as HTTP POSTs of the batch wire encoding. Upload
+// enqueues and returns; a single uploader goroutine drains the queue
+// in order, retrying each batch with exponential backoff on 5xx and
+// network errors. Retries reuse the batch's idempotency key, so the
+// server's dedup converts the transport's at-least-once delivery into
+// exactly-once records. Close delivers everything already queued
+// (with retries), then returns the first terminal error, if any.
+type HTTPTransport struct {
+	url string
+	o   HTTPTransportOptions
+
+	queue chan Batch
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	closing bool
+	err     error
+
+	uploaded atomic.Uint64
+	retried  atomic.Uint64
+	dropped  atomic.Uint64
+	failed   atomic.Uint64
+}
+
+// NewHTTPTransport builds a transport POSTing to the collector at
+// baseURL (the upload endpoint is baseURL + "/v1/upload") and starts
+// its uploader.
+func NewHTTPTransport(baseURL string, o HTTPTransportOptions) *HTTPTransport {
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 16
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 6
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.sleep == nil {
+		o.sleep = time.Sleep
+	}
+	t := &HTTPTransport{url: baseURL, o: o, queue: make(chan Batch, o.QueueSize)}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		for b := range t.queue {
+			t.send(b)
+		}
+	}()
+	return t
+}
+
+// Upload enqueues one batch. It never blocks: with the queue full the
+// batch is dropped and counted (HTTPTransportStats.Dropped) — the
+// bounded-drop contract that keeps a phone healthy when its collector
+// is not. Returns ErrTransportClosed after Close.
+func (t *HTTPTransport) Upload(ctx context.Context, b Batch) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closing {
+		return ErrTransportClosed
+	}
+	select {
+	case t.queue <- b:
+		return nil
+	default:
+		t.dropped.Add(1)
+		return nil
+	}
+}
+
+// send delivers one batch with retries; terminal failures are counted
+// and recorded as the transport's first error.
+func (t *HTTPTransport) send(b Batch) {
+	var body bytes.Buffer
+	if err := measure.EncodeBatch(&body, b); err != nil {
+		t.fail(fmt.Errorf("mopeye: encoding batch %q: %w", b.Key, err))
+		return
+	}
+	raw := body.Bytes()
+	backoff := t.o.BackoffBase
+	var lastErr error
+	for attempt := 0; attempt < t.o.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			t.retried.Add(1)
+			t.o.sleep(backoff)
+			backoff *= 2
+			if backoff > t.o.BackoffMax {
+				backoff = t.o.BackoffMax
+			}
+		}
+		retryable, err := t.post(b, raw)
+		if err == nil {
+			t.uploaded.Add(1)
+			return
+		}
+		lastErr = err
+		if !retryable {
+			t.fail(fmt.Errorf("mopeye: batch %q: %w", b.Key, err))
+			return
+		}
+	}
+	t.fail(fmt.Errorf("mopeye: batch %q: giving up after %d attempts: %w", b.Key, t.o.MaxAttempts, lastErr))
+}
+
+// post performs one delivery attempt, reporting whether a failure is
+// worth retrying (5xx, timeouts, connection errors) or terminal (4xx:
+// bad auth, bad batch — the same bytes will fail again).
+func (t *HTTPTransport) post(b Batch, raw []byte) (retryable bool, err error) {
+	req, err := http.NewRequest(http.MethodPost, t.url+"/v1/upload", bytes.NewReader(raw))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", measure.BatchContentType)
+	req.Header.Set(crowd.DeviceHeader, b.Device)
+	if t.o.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+t.o.Token)
+	}
+	resp, err := t.o.Client.Do(req)
+	if err != nil {
+		return true, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}()
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		return false, nil
+	case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests ||
+		resp.StatusCode == http.StatusRequestTimeout:
+		return true, fmt.Errorf("collector answered %s", resp.Status)
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return false, fmt.Errorf("collector rejected upload: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+}
+
+func (t *HTTPTransport) fail(err error) {
+	t.failed.Add(1)
+	t.mu.Lock()
+	if t.err == nil {
+		t.err = err
+	}
+	t.mu.Unlock()
+}
+
+// Close stops accepting batches, delivers everything already queued
+// (retries included), and returns the transport's first terminal
+// error. Safe to call more than once.
+func (t *HTTPTransport) Close() error {
+	t.mu.Lock()
+	if !t.closing {
+		t.closing = true
+		close(t.queue)
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Err reports the transport's first terminal error (nil while
+// deliveries are still succeeding or retrying).
+func (t *HTTPTransport) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Stats snapshots the transport counters.
+func (t *HTTPTransport) Stats() HTTPTransportStats {
+	return HTTPTransportStats{
+		Uploaded: t.uploaded.Load(),
+		Retried:  t.retried.Load(),
+		Dropped:  t.dropped.Load(),
+		Failed:   t.failed.Load(),
+	}
+}
