@@ -422,6 +422,73 @@ func BenchmarkEngineCeilingReadBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineCeilingDispatcher is the shared-nothing ablation at
+// Workers=4: "shared" is the PR 3 topology (one selector drained by a
+// dispatcher goroutine routing readiness into per-worker event lanes),
+// "sharded" the per-worker selectors where readiness lands directly on
+// the owning worker. The pkts/sec gap is what removing the last shared
+// hot-path stage buys.
+func BenchmarkEngineCeilingDispatcher(b *testing.B) {
+	for _, arm := range []struct {
+		name   string
+		shared bool
+	}{{"sharded", false}, {"shared", true}} {
+		b.Run(arm.name, func(b *testing.B) {
+			o := mopeye.DefaultDispatchBenchOptions()
+			o.WorkerCounts = []int{4}
+			o.SharedDispatcher = arm.shared
+			var pktsPerSec float64
+			for i := 0; i < b.N; i++ {
+				res, err := mopeye.RunDispatchBench(o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				row := res.Rows[0]
+				if row.Errors > 0 {
+					b.Fatalf("flood errors: %d", row.Errors)
+				}
+				pktsPerSec = row.PacketsPerSec
+			}
+			b.ReportMetric(pktsPerSec, "pkts/sec")
+		})
+	}
+}
+
+// BenchmarkEngineCeilingAdaptiveBatch races the AIMD burst governor
+// against pinned burst sizes at Workers=4. Under the sustained
+// loopback flood the governor should converge to the ceiling within
+// the first bursts, so "auto" must land within noise of the best fixed
+// batch; the avg-batch metric shows where it settled.
+func BenchmarkEngineCeilingAdaptiveBatch(b *testing.B) {
+	for _, arm := range []struct {
+		name string
+		rb   int
+		auto bool
+	}{{"fixed=4", 4, false}, {"fixed=64", 64, false}, {"auto", 0, true}} {
+		b.Run(arm.name, func(b *testing.B) {
+			o := mopeye.DefaultDispatchBenchOptions()
+			o.WorkerCounts = []int{4}
+			o.ReadBatch = arm.rb
+			o.ReadBatchAuto = arm.auto
+			var pktsPerSec, avgBatch float64
+			for i := 0; i < b.N; i++ {
+				res, err := mopeye.RunDispatchBench(o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				row := res.Rows[0]
+				if row.Errors > 0 {
+					b.Fatalf("flood errors: %d", row.Errors)
+				}
+				pktsPerSec = row.PacketsPerSec
+				avgBatch = row.AvgReadBatch
+			}
+			b.ReportMetric(pktsPerSec, "pkts/sec")
+			b.ReportMetric(avgBatch, "avg-batch")
+		})
+	}
+}
+
 // BenchmarkSubscribeOverhead is the streaming pipeline's ceiling
 // guard: the Workers=4 loopback flood with 0, 1 and 8 live
 // measurement subscribers attached. subs=0 is the zero-subscriber

@@ -15,7 +15,7 @@
 //
 // Usage:
 //
-//	mopeye [-apps N] [-conns N] [-pages N] [-realistic] [-variant mopeye|toyvpn|haystack] [-workers N] [-readbatch N] [-follow] [-jsonl] [-upload URL [-device D] [-token T]]
+//	mopeye [-apps N] [-conns N] [-pages N] [-realistic] [-variant mopeye|toyvpn|haystack] [-workers N] [-readbatch N|auto] [-follow] [-jsonl] [-upload URL [-device D] [-token T]]
 package main
 
 import (
@@ -26,6 +26,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -41,13 +42,29 @@ func main() {
 	realistic := flag.Bool("realistic", true, "enable Android-like cost models")
 	variant := flag.String("variant", "mopeye", "engine variant: mopeye, toyvpn or haystack")
 	workers := flag.Int("workers", 1, "packet-processing workers (1 = paper-faithful MainWorker)")
-	readbatch := flag.Int("readbatch", 0, "multi-worker read/write burst size (0 = default 64, 1 = batching off)")
+	readbatch := flag.String("readbatch", "auto", "multi-worker read burst size: explicit N pins it (1 = batching off), 0 or auto self-tunes (AIMD up to the default ceiling of 64)")
 	follow := flag.Bool("follow", false, "print each measurement live as the engine records it")
 	jsonl := flag.Bool("jsonl", false, "stream measurements to stdout as JSON Lines (report moves to stderr)")
 	upload := flag.String("upload", "", "collector server base URL (e.g. http://127.0.0.1:8477): upload measurement batches over HTTP as they accrue")
 	device := flag.String("device", "cli-phone", "device stamp for uploaded records")
 	token := flag.String("token", "", "collector bearer token")
 	flag.Parse()
+
+	// The -readbatch spelling: an explicit N pins the burst size, "0" or
+	// "auto" selects the AIMD governor (ReadBatch stays 0, so the engine
+	// default becomes the governor's ceiling). Either way the knob only
+	// matters at -workers > 1.
+	rbN, rbAuto := 0, false
+	if *readbatch == "auto" || *readbatch == "0" {
+		rbAuto = true
+	} else {
+		n, err := strconv.Atoi(*readbatch)
+		if err != nil || n < 0 {
+			fmt.Fprintf(os.Stderr, "bad -readbatch %q (want N or auto)\n", *readbatch)
+			os.Exit(2)
+		}
+		rbN = n
+	}
 
 	var cfg engine.Config
 	switch *variant {
@@ -73,7 +90,8 @@ func main() {
 		Servers:        servers,
 		Engine:         &cfg,
 		Workers:        *workers,
-		ReadBatch:      *readbatch,
+		ReadBatch:      rbN,
+		ReadBatchAuto:  rbAuto,
 		RealisticCosts: *realistic,
 	})
 	if err != nil {

@@ -8,9 +8,16 @@
 // fanning their Collector uploads into one collector server, in
 // process and over HTTP, to price the wire.
 //
+// The sweeps take ablation knobs: -readbatch sweeps burst sizes
+// (explicit N pins, "auto" or 0 runs the AIMD governor), and
+// -dispatcher shared runs the legacy shared-selector topology against
+// the default per-worker selectors. -cpuprofile/-memprofile write
+// pprof profiles of whatever experiment runs, so ceiling hotspots are
+// inspectable without editing code (workflow in EXPERIMENTS.md).
+//
 // Usage:
 //
-//	paperbench [-exp all|table1|table2|table3|table4|fig5|overhead|parallel|dispatch|fleet] [-fast] [-workers 1,2,4] [-readbatch 0] [-subs 0] [-phones 8]
+//	paperbench [-exp all|table1|table2|table3|table4|fig5|overhead|parallel|dispatch|fleet] [-fast] [-workers 1,2,4] [-readbatch auto,64] [-dispatcher sharded|shared] [-subs 0] [-phones 8] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
@@ -18,6 +25,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -25,12 +34,22 @@ import (
 	"repro/mopeye"
 )
 
-// batchLabel renders a ReadBatch sweep value ("default" for 0).
-func batchLabel(rb int) string {
-	if rb == 0 {
+// batchArm is one -readbatch sweep entry: a pinned burst size, or the
+// AIMD governor (spelled "auto" or 0) with the engine-default ceiling.
+type batchArm struct {
+	n    int
+	auto bool
+}
+
+// label renders the arm for table headers.
+func (a batchArm) label() string {
+	if a.auto {
+		return "auto"
+	}
+	if a.n == 0 {
 		return "default"
 	}
-	return strconv.Itoa(rb)
+	return strconv.Itoa(a.n)
 }
 
 // parseWorkers turns "1,2,4" into a sweep list.
@@ -50,23 +69,67 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig5, overhead, parallel, dispatch, fleet")
 	fast := flag.Bool("fast", false, "smaller workloads / shorter runs")
 	workers := flag.String("workers", "1,2,4", "worker counts swept by -exp parallel/dispatch")
-	readbatch := flag.String("readbatch", "0", "read/write burst sizes swept by -exp parallel/dispatch (comma list; 0 = engine default of 64, 1 = batching off)")
+	readbatch := flag.String("readbatch", "64", "read/write burst sizes swept by -exp parallel/dispatch (comma list; explicit N pins it, 1 = batching off; 0 or auto = AIMD self-tuning)")
+	dispatcher := flag.String("dispatcher", "sharded", "multi-worker topology for -exp parallel/dispatch: sharded (per-worker selectors) or shared (legacy dispatcher ablation)")
 	subs := flag.Int("subs", 0, "live measurement subscribers attached during -exp dispatch (streaming-pipeline overhead)")
 	phones := flag.Int("phones", 8, "fleet size for -exp fleet")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	flag.Parse()
 
-	// parseBatches turns "-readbatch 1,64" into a sweep list (0 = the
-	// engine default).
-	parseBatches := func() []int {
-		var out []int
+	var sharedDispatcher bool
+	switch *dispatcher {
+	case "sharded":
+	case "shared":
+		sharedDispatcher = true
+	default:
+		log.Fatalf("bad -dispatcher %q (want sharded or shared)", *dispatcher)
+	}
+
+	// parseBatches turns "-readbatch 1,64,auto" into sweep arms ("auto"
+	// and 0 select the AIMD governor; explicit N pins the burst size).
+	parseBatches := func() []batchArm {
+		var out []batchArm
 		for _, part := range strings.Split(*readbatch, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || n < 0 {
-				log.Fatalf("bad read batch %q", part)
+			part = strings.TrimSpace(part)
+			if part == "auto" || part == "0" {
+				out = append(out, batchArm{auto: true})
+				continue
 			}
-			out = append(out, n)
+			n, err := strconv.Atoi(part)
+			if err != nil || n < 0 {
+				log.Fatalf("bad read batch %q (want N or auto)", part)
+			}
+			out = append(out, batchArm{n: n})
 		}
 		return out
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // surface live allocations, not GC timing noise
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
 	}
 
 	run := func(name string) {
@@ -145,13 +208,15 @@ func main() {
 			if *fast {
 				o.EchoesPerConn = 10
 			}
+			o.SharedDispatcher = sharedDispatcher
 			for _, rb := range parseBatches() {
-				o.ReadBatch = rb
+				o.ReadBatch, o.ReadBatchAuto = rb.n, rb.auto
 				res, err := mopeye.RunParallelBench(o)
 				if err != nil {
 					log.Fatal(err)
 				}
-				fmt.Printf("Engine scaling — multi-app flood across worker counts (readbatch=%s):\n", batchLabel(rb))
+				fmt.Printf("Engine scaling — multi-app flood across worker counts (readbatch=%s, dispatcher=%s):\n",
+					rb.label(), *dispatcher)
 				fmt.Println(res)
 			}
 		case "dispatch":
@@ -166,14 +231,15 @@ func main() {
 				o.EchoesPerConn = 15
 				o.UDPPerConn = 5
 			}
+			o.SharedDispatcher = sharedDispatcher
 			for _, rb := range parseBatches() {
-				o.ReadBatch = rb
+				o.ReadBatch, o.ReadBatchAuto = rb.n, rb.auto
 				res, err := mopeye.RunDispatchBench(o)
 				if err != nil {
 					log.Fatal(err)
 				}
-				fmt.Printf("Engine ceiling — zero-delay loopback flood across worker counts (readbatch=%s, subscribers=%d):\n",
-					batchLabel(rb), *subs)
+				fmt.Printf("Engine ceiling — zero-delay loopback flood across worker counts (readbatch=%s, dispatcher=%s, subscribers=%d):\n",
+					rb.label(), *dispatcher, *subs)
 				fmt.Println(res)
 			}
 		case "fleet":

@@ -22,20 +22,28 @@ import (
 // tunnel), so any reordering introduced by the scatter path, the rings,
 // or the batched writer surfaces as a corrupted or stalled stream. The
 // grid covers the paper-faithful core, the ring path with batching
-// disabled, and two burst sizes; a ring smaller than the in-flight
-// packet count forces the reader's backpressure path too.
+// disabled, two burst sizes, the AIMD-governed adaptive burst, and the
+// legacy shared-dispatcher topology; a ring smaller than the in-flight
+// packet count forces the reader's backpressure path too (including
+// the adaptive governor's worst case, a burst larger than the ring).
 func TestPerFlowOrderingAcrossConfigs(t *testing.T) {
 	configs := []struct {
 		name      string
 		workers   int
 		readBatch int
 		ringSize  int
+		auto      bool
+		shared    bool
 	}{
-		{"workers=1", 1, 0, 0},
-		{"workers=4/readbatch=1", 4, 1, 0},
-		{"workers=4/readbatch=8", 4, 8, 0},
-		{"workers=4/readbatch=64", 4, 64, 0},
-		{"workers=2/tiny-ring", 2, 64, 8},
+		{name: "workers=1", workers: 1},
+		{name: "workers=4/readbatch=1", workers: 4, readBatch: 1},
+		{name: "workers=4/readbatch=8", workers: 4, readBatch: 8},
+		{name: "workers=4/readbatch=64", workers: 4, readBatch: 64},
+		{name: "workers=2/tiny-ring", workers: 2, readBatch: 64, ringSize: 8},
+		{name: "workers=4/readbatch=auto", workers: 4, auto: true},
+		{name: "workers=4/readbatch=auto/tiny-ring", workers: 4, ringSize: 8, auto: true},
+		{name: "workers=4/shared-dispatcher", workers: 4, readBatch: 64, shared: true},
+		{name: "workers=2/shared-dispatcher/auto", workers: 2, auto: true, shared: true},
 	}
 	const (
 		flows   = 6
@@ -48,6 +56,8 @@ func TestPerFlowOrderingAcrossConfigs(t *testing.T) {
 			cfg.Workers = tc.workers
 			cfg.ReadBatch = tc.readBatch
 			cfg.RingSize = tc.ringSize
+			cfg.ReadBatchAuto = tc.auto
+			cfg.SharedDispatcher = tc.shared
 			tb := newTestbed(t, cfg)
 
 			errs := make(chan error, flows)
@@ -154,5 +164,51 @@ func TestBatchCountersAccounted(t *testing.T) {
 	}
 	if multi.ReadBatches > multi.BatchedPackets {
 		t.Errorf("more batches (%d) than batched packets (%d)", multi.ReadBatches, multi.BatchedPackets)
+	}
+}
+
+// TestReadBatchStatsObservable pins the new burst observability: on the
+// batched path Stats must expose the reader's live burst limit and the
+// realised batch size, with the limit pinned at Config.ReadBatch in
+// fixed mode and confined to [floor, ceiling] under ReadBatchAuto.
+func TestReadBatchStatsObservable(t *testing.T) {
+	run := func(auto bool) engine.Stats {
+		t.Helper()
+		cfg := engine.Default()
+		cfg.Workers = 4
+		cfg.ReadBatch = 32
+		cfg.ReadBatchAuto = auto
+		tb := newTestbed(t, cfg)
+		conn, err := tb.phone.Connect(uidApp, tb.server, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		msg := []byte("burst gauge probe")
+		if _, err := conn.Write(msg); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, len(msg))
+		if err := conn.ReadFull(buf); err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, 3*time.Second, func() bool { return tb.eng.Store().Len() >= 1 }, "record")
+		return tb.eng.Stats()
+	}
+
+	fixed := run(false)
+	if fixed.ReadBatchLimit != 32 {
+		t.Errorf("fixed mode: ReadBatchLimit = %d, want the pinned 32", fixed.ReadBatchLimit)
+	}
+	if fixed.ReadBatches > 0 && fixed.AvgReadBatch <= 0 {
+		t.Errorf("fixed mode: AvgReadBatch = %v with %d batches", fixed.AvgReadBatch, fixed.ReadBatches)
+	}
+
+	adaptive := run(true)
+	if adaptive.ReadBatchLimit < 1 || adaptive.ReadBatchLimit > 32 {
+		t.Errorf("adaptive mode: ReadBatchLimit = %d, want within [floor, 32]", adaptive.ReadBatchLimit)
+	}
+	if adaptive.ReadBatches > 0 && adaptive.AvgReadBatch <= 0 {
+		t.Errorf("adaptive mode: AvgReadBatch = %v with %d batches", adaptive.AvgReadBatch, adaptive.ReadBatches)
 	}
 }

@@ -101,8 +101,17 @@ type Config struct {
 	// syscalls, and the emit side batches tunnel writes at the same
 	// grain. Zero selects the default of 64; 1 degenerates to
 	// packet-at-a-time (the batching ablation). Workers=1 always runs
-	// the paper's per-packet §3.1 read loop regardless.
+	// the paper's per-packet §3.1 read loop regardless. With
+	// ReadBatchAuto set this is the adaptive governor's ceiling.
 	ReadBatch int
+
+	// ReadBatchAuto replaces the fixed burst size with an AIMD governor
+	// (readbatch.go): the reader grows its burst limit additively while
+	// bursts come back full (the tunnel has a backlog worth amortising)
+	// and halves it when bursts come back mostly empty, between a small
+	// floor and ReadBatch as the ceiling. The realised limit is
+	// observable as Stats.ReadBatchLimit. Ignored at Workers=1.
+	ReadBatchAuto bool
 
 	// RingSize is the per-worker SPSC ring capacity on the multi-worker
 	// path, rounded up to a power of two; zero selects 1024. When a
@@ -113,13 +122,22 @@ type Config struct {
 	// Workers selects how many packet-processing workers run. The
 	// paper-faithful default is 1: the single MainWorker thread of
 	// Figure 4, which is what every ablation (Tables 1–4) measures.
-	// With N > 1 the engine runs the sharded pipeline: a dispatcher
-	// owns the selector and fans events out to N workers, each flow
-	// pinned to the worker owning its flow-table shard, so per-flow
-	// packet ordering is preserved while distinct flows relay in
-	// parallel. MainLoopPoll > 0 (the Haystack-style polled loop)
-	// always runs single-worker.
+	// With N > 1 the engine runs the shared-nothing sharded pipeline:
+	// every worker owns its own selector and its own SPSC packet ring,
+	// each flow pinned (and its socket registered) to the worker owning
+	// its flow-table shard, so neither packets nor readiness events
+	// ever cross a shared stage. MainLoopPoll > 0 (the Haystack-style
+	// polled loop) always runs single-worker.
 	Workers int
+
+	// SharedDispatcher reverts the multi-worker engine to its pre-
+	// shared-nothing shape: one selector for all sockets, drained by a
+	// dedicated dispatcher goroutine that claims each readiness event
+	// and routes it to the owning worker's event lane. Kept as the
+	// ablation arm that prices the shared stage (`paperbench -exp
+	// dispatch -dispatcher shared`); per-worker selectors are the
+	// default. Ignored at Workers=1.
+	SharedDispatcher bool
 
 	// FlowShards is the flow-table shard count (rounded up to a power
 	// of two); zero selects flowtable.DefaultShards. More shards than

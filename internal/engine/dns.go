@@ -24,8 +24,8 @@ func newMachine(syn *packet.Packet, iss uint32, emit func(*packet.Packet)) (*tcp
 // runs on one of UDPPoolSize pooled workers against the flow's
 // NAT-style session socket.
 func (e *Engine) handleTunnelUDP(pkt *packet.Packet) {
-	// pkt.Payload is freshly allocated by Decode, so ownership can move
-	// to the pool without a copy.
+	// pkt.Payload aliases the single-owner raw buffer Decode consumed,
+	// so ownership can move to the pool without a copy.
 	e.udp.relay(packet.Flow(pkt), pkt.Payload)
 }
 

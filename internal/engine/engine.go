@@ -35,7 +35,14 @@ type Engine struct {
 	meter  *resource.Meter
 	mapper *mapper
 
+	// sel is the shared selector: the MainWorker's single wait point at
+	// Workers=1, and the dispatcher's at Workers>1 with
+	// Config.SharedDispatcher. On the default shared-nothing path each
+	// worker owns sels[i] instead, and sockets register with the
+	// selector of the worker that owns their flow's shard, so readiness
+	// events are born on the thread that will consume them.
 	sel    *sockets.Selector
+	sels   []*sockets.Selector // per-worker; non-nil only on the sharded-selector path
 	readQ  *readQueue
 	writeQ *packetQueue // nil for DirectWrite
 	rngMu  sync.Mutex
@@ -125,12 +132,31 @@ func New(cfg Config, d Deps) *Engine {
 		stopped: make(chan struct{}),
 	}
 	e.sel = e.prov.NewSelector()
+	if e.multiWorker() && !cfg.SharedDispatcher {
+		e.sels = make([]*sockets.Selector, cfg.Workers)
+		for i := range e.sels {
+			e.sels[i] = e.prov.NewSelector()
+		}
+	}
 	e.udp = newUDPRelay(e)
 	e.mapper = newMapper(d.ProcNet, d.Packages, cfg.Mapping, cfg.MapWait, d.Clock)
 	if cfg.WriteScheme != DirectWrite {
 		e.writeQ = newPacketQueue(d.Clock, cfg.WriteScheme == QueueWriteNewPut, cfg.SpinThreshold, cfg.Seed+1)
 	}
 	return e
+}
+
+// selectorFor returns the selector a flow on the given shard registers
+// with: the owning worker's own selector on the shared-nothing path,
+// the one shared selector otherwise. Pinning the registration at
+// connect time is what lets readiness skip any dispatcher — the event
+// is enqueued directly on the consuming worker's selector and can
+// never be claimed by another thread.
+func (e *Engine) selectorFor(shard int) *sockets.Selector {
+	if e.sels != nil {
+		return e.sels[shard%len(e.sels)]
+	}
+	return e.sel
 }
 
 // Store returns the measurement store.

@@ -28,20 +28,34 @@ func (e *Engine) Start() {
 	// the sharded pipeline only replaces the event-driven loop.
 	if e.multiWorker() {
 		// Batched pipeline: workers first (the reader scatters into
-		// their rings), then the scattering reader and the socket-event
-		// dispatcher, then the batched writer.
+		// their rings), then the scattering reader, then the batched
+		// writer. On the default shared-nothing path each worker runs a
+		// private MainWorker-shaped loop over its own selector and
+		// ring; under SharedDispatcher the workers drain event lanes
+		// fed by a dispatcher goroutine owning the one shared selector.
 		e.workers = make([]*worker, e.cfg.Workers)
 		for i := range e.workers {
-			e.workers[i] = &worker{id: i, q: newRingQ(e.cfg.RingSize)}
+			w := &worker{id: i, q: newRingQ(e.cfg.RingSize)}
+			if e.sels != nil {
+				w.sel = e.sels[i]
+				w.q.wake = w.sel.Wakeup
+			}
+			e.workers[i] = w
 		}
 		for _, w := range e.workers {
 			e.wg.Add(1)
-			go e.workerLoop(w)
+			if w.sel != nil {
+				go e.workerLoopSharded(w)
+			} else {
+				go e.workerLoop(w)
+			}
 		}
 		e.wg.Add(1)
 		go e.tunReaderBatched()
-		e.wg.Add(1)
-		go e.dispatcher()
+		if e.sels == nil {
+			e.wg.Add(1)
+			go e.dispatcher()
+		}
 	} else {
 		// Paper-faithful Figure 4: per-packet TunReader + MainWorker.
 		e.wg.Add(1)
@@ -85,6 +99,9 @@ func (e *Engine) Stop() {
 	// perspective).
 	_ = e.dev.InjectOutbound([]byte{0})
 	e.sel.Wakeup()
+	for _, s := range e.sels {
+		s.Wakeup()
+	}
 	if e.writeQ != nil {
 		e.writeQ.close()
 	}
@@ -93,6 +110,9 @@ func (e *Engine) Stop() {
 	// enqueued; stopping the relay closes its sessions and pool.
 	e.udp.stop()
 	e.sel.Close()
+	for _, s := range e.sels {
+		s.Close()
+	}
 
 	for _, c := range e.flows.Drain() {
 		if ch := c.Ch(); ch != nil {

@@ -1,0 +1,79 @@
+package engine
+
+// Adaptive burst sizing for the batched TUN read path (Config.
+// ReadBatchAuto). A fixed ReadBatch is a workload bet: large bursts
+// amortise the TUN queue lock under flood but, on a trickling tunnel,
+// make every read scan a mostly-empty batch slice and deliver packets
+// in lumps. The governor turns the realised burst fill — the live form
+// of the BatchedPackets/ReadBatches ratio the Stats expose — into the
+// knob itself, AIMD-style:
+//
+//   - a burst that comes back full means the tunnel had at least a
+//     burst's worth of backlog, so there is more amortisation to be
+//     had: grow the limit additively (+batchGrowStep, up to the
+//     configured ReadBatch ceiling);
+//   - a burst that comes back less than half-full means the limit has
+//     overshot the arrival rate: halve it (down to batchFloor);
+//   - anything between leaves the limit alone.
+//
+// Additive growth keeps a flood from yo-yoing the limit off one short
+// burst; multiplicative decrease sheds an idle tunnel's oversized
+// limit in a few bursts. Under a sustained flood the limit converges
+// to the ceiling — which is why the adaptive mode benchmarks within
+// noise of the best hand-tuned fixed batch — and on an idle tunnel it
+// settles at the floor.
+
+const (
+	// batchFloor is the smallest limit the governor will shrink to;
+	// below this the batching machinery costs more than it amortises.
+	batchFloor = 4
+	// batchGrowStep is the additive increase per saturated burst.
+	batchGrowStep = 8
+)
+
+// burstGovernor holds the adaptive limit. A pinned governor (fixed
+// ReadBatch) is one whose floor equals its ceiling, so observe() can
+// never move cur — the reader runs one code path either way. Owned by
+// the single reader goroutine; the engine publishes cur to the
+// readBatchLimit gauge for Stats.
+type burstGovernor struct {
+	cur   int
+	floor int
+	ceil  int
+}
+
+// newBurstGovernor builds the governor for a resolved config: adaptive
+// between batchFloor and cfg.ReadBatch when cfg.ReadBatchAuto, pinned
+// at cfg.ReadBatch otherwise. An adaptive governor starts at the floor
+// — the idle-tunnel state — and earns its way up.
+func newBurstGovernor(cfg Config) *burstGovernor {
+	ceil := cfg.ReadBatch
+	if ceil <= 0 {
+		ceil = defaultReadBatch
+	}
+	if !cfg.ReadBatchAuto {
+		return &burstGovernor{cur: ceil, floor: ceil, ceil: ceil}
+	}
+	floor := batchFloor
+	if floor > ceil {
+		floor = ceil
+	}
+	return &burstGovernor{cur: floor, floor: floor, ceil: ceil}
+}
+
+// limit returns the current burst limit.
+func (g *burstGovernor) limit() int { return g.cur }
+
+// observe feeds back one burst's realised size n (n ≤ g.cur).
+func (g *burstGovernor) observe(n int) {
+	switch {
+	case n >= g.cur:
+		if g.cur += batchGrowStep; g.cur > g.ceil {
+			g.cur = g.ceil
+		}
+	case n*2 < g.cur:
+		if g.cur /= 2; g.cur < g.floor {
+			g.cur = g.floor
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package engine
+
+import "testing"
+
+// Unit tests for the AIMD burst governor. The governor is plain
+// single-goroutine state, so these pin its arithmetic directly: the
+// reader integration (scatter, gauge publication) is covered by the
+// engine-level batch tests.
+
+func TestBurstGovernorPinnedByDefault(t *testing.T) {
+	cfg := Default()
+	cfg.ReadBatch = 32
+	g := newBurstGovernor(cfg)
+	if g.limit() != 32 {
+		t.Fatalf("pinned governor starts at %d, want 32", g.limit())
+	}
+	for _, n := range []int{0, 1, 32, 5} {
+		g.observe(n)
+		if g.limit() != 32 {
+			t.Fatalf("pinned governor moved to %d after observe(%d)", g.limit(), n)
+		}
+	}
+}
+
+func TestBurstGovernorDefaultCeiling(t *testing.T) {
+	cfg := Default() // ReadBatch unset: the engine default is the ceiling
+	cfg.ReadBatch = 0
+	cfg.ReadBatchAuto = true
+	g := newBurstGovernor(cfg)
+	if g.limit() != batchFloor {
+		t.Fatalf("adaptive governor starts at %d, want floor %d", g.limit(), batchFloor)
+	}
+	if g.ceil != defaultReadBatch {
+		t.Fatalf("adaptive ceiling = %d, want engine default %d", g.ceil, defaultReadBatch)
+	}
+}
+
+// TestBurstGovernorConvergesUnderFlood is the AIMD property the ISSUE
+// gates on: a saturated tunnel (every burst comes back full) must walk
+// the limit up to the configured ceiling — the best fixed batch — and
+// hold it there.
+func TestBurstGovernorConvergesUnderFlood(t *testing.T) {
+	cfg := Default()
+	cfg.ReadBatch = 64
+	cfg.ReadBatchAuto = true
+	g := newBurstGovernor(cfg)
+	for i := 0; i < 64; i++ {
+		g.observe(g.limit()) // full burst
+	}
+	if g.limit() != 64 {
+		t.Fatalf("after sustained flood, limit = %d, want ceiling 64", g.limit())
+	}
+	g.observe(g.limit())
+	if g.limit() != 64 {
+		t.Fatalf("limit overshot the ceiling: %d", g.limit())
+	}
+}
+
+func TestBurstGovernorShedsWhenIdle(t *testing.T) {
+	cfg := Default()
+	cfg.ReadBatch = 64
+	cfg.ReadBatchAuto = true
+	g := newBurstGovernor(cfg)
+	for i := 0; i < 64; i++ {
+		g.observe(g.limit())
+	}
+	// Trickle: one packet per burst. Multiplicative decrease must reach
+	// the floor within a handful of bursts.
+	for i := 0; i < 8; i++ {
+		g.observe(1)
+	}
+	if g.limit() != batchFloor {
+		t.Fatalf("after idle trickle, limit = %d, want floor %d", g.limit(), batchFloor)
+	}
+	g.observe(0)
+	if g.limit() != batchFloor {
+		t.Fatalf("limit undershot the floor: %d", g.limit())
+	}
+}
+
+// TestBurstGovernorHoldsMidband pins the dead zone: a burst between
+// half-full and full is evidence the limit matches the arrival rate,
+// so it must not move in either direction.
+func TestBurstGovernorHoldsMidband(t *testing.T) {
+	cfg := Default()
+	cfg.ReadBatch = 64
+	cfg.ReadBatchAuto = true
+	g := newBurstGovernor(cfg)
+	for g.limit() < 16 {
+		g.observe(g.limit())
+	}
+	cur := g.limit()
+	for i := 0; i < 10; i++ {
+		g.observe(cur/2 + 1) // more than half, less than full
+		if g.limit() != cur {
+			t.Fatalf("mid-band observe moved the limit %d -> %d", cur, g.limit())
+		}
+	}
+}
+
+// TestBurstGovernorTinyCeiling covers a ceiling below the floor (e.g.
+// ReadBatch=1 with auto on): the governor must clamp the floor down
+// rather than oscillate above the configured ceiling.
+func TestBurstGovernorTinyCeiling(t *testing.T) {
+	cfg := Default()
+	cfg.ReadBatch = 1
+	cfg.ReadBatchAuto = true
+	g := newBurstGovernor(cfg)
+	if g.limit() != 1 {
+		t.Fatalf("tiny-ceiling governor starts at %d, want 1", g.limit())
+	}
+	for _, n := range []int{1, 0, 1} {
+		g.observe(n)
+		if g.limit() != 1 {
+			t.Fatalf("tiny-ceiling governor moved to %d", g.limit())
+		}
+	}
+}

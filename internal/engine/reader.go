@@ -123,18 +123,21 @@ func (e *Engine) tunReader() {
 }
 
 // tunReaderBatched is the multi-worker tunnel read thread: it retrieves
-// packets in bursts of up to Config.ReadBatch (tun.ReadBatch pays the
-// queue lock once per burst), peeks each packet's flow key straight out
-// of the header bytes (packet.PeekFlowKey — no decode, no allocation),
-// and scatters the burst into the per-worker SPSC rings. Routing on the
-// reader removes both the shared read queue and the dispatcher from the
-// packet hot path; the dispatcher keeps only the selector loop. The
-// read-mode schedule (§3.1) is unchanged, applied per burst.
+// packets in bursts of up to the governed burst limit (tun.ReadBatch
+// pays the queue lock once per burst), peeks each packet's flow key
+// straight out of the header bytes (packet.PeekFlowKey — no decode, no
+// allocation), and scatters the burst into the per-worker SPSC rings.
+// Routing on the reader removes any shared queue from the packet hot
+// path. The burst limit is pinned at Config.ReadBatch, or self-tuned by
+// the AIMD governor (readbatch.go) under ReadBatchAuto; either way the
+// live limit is published to the ReadBatchLimit gauge. The read-mode
+// schedule (§3.1) is unchanged, applied per burst.
 func (e *Engine) tunReaderBatched() {
 	defer e.wg.Done()
 	// The reader is the packet lanes' only producer, so it closes them:
-	// after this, each worker drains its ring and (once the dispatcher
-	// has closed the event lanes too) exits.
+	// after this, each worker drains its ring and exits (the sharded-
+	// selector worker on this signal alone; the dispatcher-path worker
+	// once the dispatcher has closed the event lanes too).
 	defer func() {
 		for _, w := range e.workers {
 			w.q.closePackets()
@@ -142,13 +145,19 @@ func (e *Engine) tunReaderBatched() {
 	}()
 	sleeping := e.readSleep()
 	policy := newPollPolicy(adaptiveShortPoll, sleeping, e.pollBurst())
-	batch := make([][]byte, e.cfg.ReadBatch)
+	gov := newBurstGovernor(e.cfg)
+	batch := make([][]byte, gov.ceil)
+	touched := make([]bool, len(e.workers))
+	e.ctr.readBatchLimit.Store(int64(gov.limit()))
 	for e.isRunning() {
-		n, err := e.dev.ReadBatch(batch)
+		n, err := e.dev.ReadBatch(batch[:gov.limit()])
 		switch {
 		case err == nil:
 			policy.onSuccess()
-			e.scatter(batch[:n])
+			e.scatter(batch[:n], touched)
+			if gov.observe(n); int64(gov.limit()) != e.ctr.readBatchLimit.Load() {
+				e.ctr.readBatchLimit.Store(int64(gov.limit()))
+			}
 		case errors.Is(err, tun.ErrWouldBlock):
 			e.meter.AddWakeups(1)
 			switch e.cfg.ReadMode {
@@ -168,8 +177,12 @@ func (e *Engine) tunReaderBatched() {
 // scatter routes one burst of raw tunnel packets to their pinned
 // workers. PeekFlowKey applies exactly Decode's structural validation,
 // so a packet rejected here (counted as a decode error) is one the
-// worker would have rejected anyway.
-func (e *Engine) scatter(burst [][]byte) {
+// worker would have rejected anyway. On the sharded-selector path the
+// workers that received packets are woken once each, after the whole
+// burst is ringed — the per-burst amortisation of the per-packet
+// Wakeup the single-worker reader pays (§3.2); on the dispatcher path
+// pushPacket's parked-consumer flag does the waking instead.
+func (e *Engine) scatter(burst [][]byte, touched []bool) {
 	for i, raw := range burst {
 		burst[i] = nil // the ring owns the reference now
 		key, err := packet.PeekFlowKey(raw)
@@ -177,8 +190,18 @@ func (e *Engine) scatter(burst [][]byte) {
 			e.ctr.decodeErrors.Add(1)
 			continue
 		}
-		e.workerFor(e.flows.Shard(key)).q.pushPacket(raw)
+		shard := e.flows.Shard(key) % len(e.workers)
+		e.workers[shard].q.pushPacket(raw)
+		touched[shard] = true
 	}
 	e.ctr.readBatches.Add(1)
 	e.ctr.batchedPackets.Add(int64(len(burst)))
+	for i, t := range touched {
+		if t {
+			touched[i] = false
+			if e.sels != nil {
+				e.workers[i].sel.Wakeup()
+			}
+		}
+	}
 }

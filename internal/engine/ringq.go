@@ -25,6 +25,14 @@ import (
 //     load per iteration, which keeps a packet flood from starving
 //     socket events without paying the mutex per packet.
 //
+// On the default shared-nothing path (per-worker selectors) only the
+// packet lane is used: socket readiness lands on the worker's own
+// selector, the worker parks in Select rather than in take(), and the
+// ring's wake callback (the worker selector's Wakeup) replaces the
+// consumer-parking condvar. The event lane and the consumer park/wake
+// protocol below remain live on the Workers=1-style SharedDispatcher
+// compatibility path.
+//
 // Blocking is two-sided: the consumer parks when both lanes are empty,
 // and the producer parks when the ring is full (backpressure toward
 // the TUN queue, which drops on overflow exactly like a real device).
@@ -49,6 +57,14 @@ type ringQ struct {
 	evClosed bool
 
 	pktClosed atomic.Bool
+
+	// wake, when set (sharded-selector path), is invoked wherever the
+	// consumer could otherwise sleep through a state change it must
+	// see: a producer about to park on a full ring, and the packet
+	// lane's close. The per-push consumer wakeup is NOT routed through
+	// it — the batched reader wakes the consumer once per burst, which
+	// is the point of batching.
+	wake func()
 
 	// Parking.
 	mu       sync.Mutex
@@ -93,6 +109,12 @@ func (q *ringQ) pushPacket(raw []byte) {
 			q.tail.Store(t + 1)
 			q.wakeConsumer()
 			return
+		}
+		// Full ring: the consumer may be parked (in take(), or in its
+		// selector's Select on the sharded path) having last seen an
+		// empty ring — wake it before waiting, or nobody makes space.
+		if q.wake != nil {
+			q.wake()
 		}
 		q.mu.Lock()
 		q.prodWait.Store(true)
@@ -180,6 +202,13 @@ func (q *ringQ) emptyBoth() bool {
 	return q.head.Load() == q.tail.Load() && q.evCount.Load() == 0
 }
 
+// drained reports an empty packet lane; the sharded-selector worker's
+// exit test (with pktClosed) — its events live on its own selector, so
+// the event lane does not participate.
+func (q *ringQ) drained() bool {
+	return q.head.Load() == q.tail.Load()
+}
+
 func (q *ringQ) eventsClosed() bool {
 	q.evMu.Lock()
 	defer q.evMu.Unlock()
@@ -201,6 +230,9 @@ func (q *ringQ) closePackets() {
 	q.mu.Lock()
 	q.cond.Broadcast()
 	q.mu.Unlock()
+	if q.wake != nil {
+		q.wake()
+	}
 }
 
 // closeEvents marks the event lane closed; later pushEvent calls are

@@ -41,6 +41,16 @@ type Stats struct {
 	ReadBatches    int
 	BatchedPackets int
 
+	// ReadBatchLimit is the reader's current burst limit: the fixed
+	// Config.ReadBatch normally, or the AIMD governor's live value
+	// under ReadBatchAuto — watching it against AvgReadBatch shows
+	// whether the governor has converged on the workload. Zero on the
+	// single-worker path.
+	ReadBatchLimit int
+	// AvgReadBatch is the realised burst size,
+	// BatchedPackets/ReadBatches (0 when no burst has completed).
+	AvgReadBatch float64
+
 	// WriteHist is the tunnel-write delay as observed by the writing
 	// thread; PutHist is the enqueue delay (Table 1).
 	WriteHist stats.DelayHistogram
@@ -73,6 +83,7 @@ type counters struct {
 	udpBytesDown    atomic.Int64
 	readBatches     atomic.Int64
 	batchedPackets  atomic.Int64
+	readBatchLimit  atomic.Int64 // gauge: the reader's current burst limit
 }
 
 // Stats snapshots the engine counters, folding in mapper and queue
@@ -101,6 +112,10 @@ func (e *Engine) Stats() Stats {
 		UDPBytesDown:    e.ctr.udpBytesDown.Load(),
 		ReadBatches:     int(e.ctr.readBatches.Load()),
 		BatchedPackets:  int(e.ctr.batchedPackets.Load()),
+		ReadBatchLimit:  int(e.ctr.readBatchLimit.Load()),
+	}
+	if s.ReadBatches > 0 {
+		s.AvgReadBatch = float64(s.BatchedPackets) / float64(s.ReadBatches)
 	}
 	e.histMu.Lock()
 	s.WriteHist = e.writeHist

@@ -15,14 +15,32 @@ import (
 // `go test -race`: multiple injector goroutines flood the engine with
 // connections and data while other goroutines hammer the snapshot APIs
 // (Stats, ActiveClients, AppTraffic) and Stop lands mid-flood. Run for
-// both the paper-faithful single worker and the sharded pipeline.
+// the paper-faithful single worker and every multi-worker topology:
+// the default per-worker selectors (fixed and AIMD-governed bursts,
+// plus a ring smaller than the burst to stress the wake-before-park
+// backpressure path) and the legacy shared-dispatcher ablation arm.
 
-func TestEngineStressSingleWorker(t *testing.T) { stressEngine(t, 1) }
-func TestEngineStressFourWorkers(t *testing.T)  { stressEngine(t, 4) }
+func TestEngineStressSingleWorker(t *testing.T) { stressEngine(t, 1, nil) }
+func TestEngineStressFourWorkers(t *testing.T)  { stressEngine(t, 4, nil) }
+func TestEngineStressSharedDispatcher(t *testing.T) {
+	stressEngine(t, 4, func(cfg *engine.Config) { cfg.SharedDispatcher = true })
+}
+func TestEngineStressAdaptiveBatch(t *testing.T) {
+	stressEngine(t, 4, func(cfg *engine.Config) { cfg.ReadBatchAuto = true })
+}
+func TestEngineStressAdaptiveTinyRing(t *testing.T) {
+	stressEngine(t, 2, func(cfg *engine.Config) {
+		cfg.ReadBatchAuto = true
+		cfg.RingSize = 8
+	})
+}
 
-func stressEngine(t *testing.T, workers int) {
+func stressEngine(t *testing.T, workers int, tweak func(*engine.Config)) {
 	cfg := engine.Default()
 	cfg.Workers = workers
+	if tweak != nil {
+		tweak(&cfg)
+	}
 	tb := newTestbed(t, cfg)
 	if got := tb.eng.Workers(); got != workers {
 		t.Fatalf("Workers() = %d, want %d", got, workers)

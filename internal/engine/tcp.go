@@ -188,8 +188,11 @@ func (e *Engine) socketConnectBlocking(cl *relay.TCPClient) {
 	e.ctr.established.Add(1)
 
 	// DeferRegister or not, registration happens here in blocking mode;
-	// the §3.4 cost model is identical either way.
-	key := e.sel.Register(ch, sockets.OpRead, cl)
+	// the §3.4 cost model is identical either way. The key lands on the
+	// selector of the worker that owns this flow's shard (the shared
+	// selector at Workers=1), pinning readiness delivery to the thread
+	// that relays the flow.
+	key := e.selectorFor(cl.Shard).Register(ch, sockets.OpRead, cl)
 	cl.SetKey(key)
 	if cl.PendingWrites() || cl.HalfCloseRequested() {
 		key.SetInterestOps(sockets.OpRead | sockets.OpWrite)
@@ -217,7 +220,7 @@ func (e *Engine) socketConnectEventDriven(cl *relay.TCPClient) {
 	if e.cfg.Protect == ProtectPerSocket {
 		ch.Protect()
 	}
-	key := e.sel.Register(ch, sockets.OpRead|sockets.OpConnect, cl)
+	key := e.selectorFor(cl.Shard).Register(ch, sockets.OpRead|sockets.OpConnect, cl)
 	cl.SetKey(key)
 	connStart := e.clk.Nanos()
 	key.Attach(&eventConnect{client: cl, start: connStart})

@@ -13,18 +13,31 @@ import (
 //     queue (§3.2). This is the fidelity-preserving default; the
 //     ablation results are produced on this path.
 //
-//   - Workers > 1: a sharded pipeline. The batched TunReader peeks each
-//     packet's flow key and scatters bursts straight into the per-worker
-//     SPSC rings (reader.go); the dispatcher runs the selector loop and
-//     routes socket-readiness events to the same workers' event lanes.
-//     All events of a flow land in one worker's queue pair and are
-//     drained by that one worker, so per-flow packet ordering is
-//     preserved while distinct flows proceed in parallel.
+//   - Workers > 1 (default, shared-nothing): N independent MainWorkers.
+//     The batched TunReader peeks each packet's flow key and scatters
+//     bursts straight into the per-worker SPSC rings (reader.go);
+//     socket readiness lands on the owning worker's own selector,
+//     because the socket was registered there at connect time
+//     (selectorFor). Each worker multiplexes exactly its own selector
+//     and its own ring — no stage is shared between workers, so worker
+//     scaling has no serial hot-path section left.
+//
+//   - Workers > 1 with Config.SharedDispatcher: the pre-shared-nothing
+//     shape, kept as the ablation arm. One selector covers every
+//     socket; a dispatcher goroutine drains it, claims each key's
+//     readiness (ReadyOps is consume-once), and routes the event to the
+//     owning worker's event lane.
+//
+//     Either way all events of a flow are drained by that one pinned
+//     worker, so per-flow packet ordering is preserved while distinct
+//     flows proceed in parallel.
 
-// worker is one pinned packet-processing thread.
+// worker is one pinned packet-processing thread. sel is its private
+// selector on the shared-nothing path, nil under SharedDispatcher.
 type worker struct {
-	id int
-	q  *ringQ
+	id  int
+	q   *ringQ
+	sel *sockets.Selector
 }
 
 // workItem is one unit routed to a worker: either a raw tunnel packet
@@ -42,7 +55,8 @@ func (e *Engine) workerFor(shard int) *worker {
 	return e.workers[shard%len(e.workers)]
 }
 
-// workerLoop drains one worker's queue until the dispatcher closes it.
+// workerLoop drains one worker's queue until the dispatcher closes it
+// (the SharedDispatcher ablation path).
 func (e *Engine) workerLoop(w *worker) {
 	defer e.wg.Done()
 	for {
@@ -59,10 +73,52 @@ func (e *Engine) workerLoop(w *worker) {
 	}
 }
 
-// dispatcher is the multi-worker selector loop. Tunnel packets no
-// longer pass through it — the batched reader scatters them straight to
+// workerLoopSharded is one shared-nothing worker: structurally the
+// paper's MainWorker loop (one Select covering both event sources),
+// but over the worker's private selector and private packet ring. The
+// reader wakes the selector once per burst per touched worker; socket
+// readiness wakes it from markReady directly. Like MainWorker it
+// drains in interleaved batches so a packet flood cannot starve socket
+// events. The worker exits only once the reader has closed the packet
+// lane (its final act, after which no push can follow) and the ring is
+// drained — exiting on the running flag alone could strand a reader
+// blocked in a full-ring push with nobody left to make space.
+func (e *Engine) workerLoopSharded(w *worker) {
+	defer e.wg.Done()
+	for {
+		if w.q.pktClosed.Load() && w.q.drained() {
+			return
+		}
+		keys := w.sel.Select()
+		for {
+			progress := false
+			for _, k := range keys {
+				e.handleSocketKey(k)
+				progress = true
+			}
+			keys = keys[:0]
+			for i := 0; i < 64; i++ {
+				raw, ok := w.q.popPacket()
+				if !ok {
+					break
+				}
+				e.handleTunnelPacket(raw)
+				progress = true
+			}
+			if !progress {
+				break
+			}
+			keys = w.sel.SelectTimeout(0)
+		}
+	}
+}
+
+// dispatcher is the SharedDispatcher selector loop. Tunnel packets do
+// not pass through it — the batched reader scatters them straight to
 // the workers' rings — so all that remains is routing socket-readiness
-// events to each flow's pinned worker.
+// events to each flow's pinned worker. This shared stage (and the
+// Attachment load plus event-lane mutex per event it pays) is exactly
+// what the per-worker selectors eliminate.
 func (e *Engine) dispatcher() {
 	defer e.wg.Done()
 	// Closing the event lanes (the reader closes the packet lanes)

@@ -2,6 +2,7 @@ package sockets
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -20,120 +21,141 @@ const (
 // attachment, like java.nio.channels.SelectionKey. MopEye attaches the
 // TCP client object so the event handler can reach the state machine
 // (§2.3 "two-way referencing").
+//
+// The per-event state is lock-free: interest, ready, the attachment,
+// and the cancel flag are independent atomics, so the relay hot path —
+// markReady from the network callback, ReadyOps/Attachment from the
+// processing worker, SetInterestOps from the packet handlers — never
+// serialises on a key mutex. The Java-mirroring mutex the seed carried
+// here was load-bearing only for compound read-modify-write on `ready`,
+// which CAS loops now provide directly. The one non-atomic field,
+// queued, belongs to the selector's ready queue and is guarded by the
+// selector mutex.
 type SelectionKey struct {
 	sel *Selector
 	ch  *Channel
 
-	mu         sync.Mutex
-	attachment interface{}
-	interest   Ops
-	ready      Ops
-	readyAt    int64 // clock nanos when readiness was signalled
-	canceled   bool
+	// attachment is boxed so the stored value can change concrete type
+	// (the engine swaps *eventConnect for *relay.TCPClient when a
+	// non-blocking connect completes).
+	attachment atomic.Pointer[any]
+	interest   atomic.Int32
+	ready      atomic.Int32
+	readyAt    atomic.Int64 // clock nanos when readiness was signalled
+	canceled   atomic.Bool
+
+	// queued marks membership in the selector's ready queue; guarded by
+	// sel.mu, never touched outside enqueueReady/collectLocked.
+	queued bool
 }
 
 // Channel returns the registered channel.
 func (k *SelectionKey) Channel() *Channel { return k.ch }
 
 // Attachment returns the attached object, like
-// java.nio.channels.SelectionKey.attachment(). Synchronised because the
-// multi-worker engine's dispatcher reads it while a socket-connect
-// thread may be swapping it via Attach.
+// java.nio.channels.SelectionKey.attachment(). Lock-free: the
+// multi-worker engine reads it on the dispatch path while a
+// socket-connect thread may be swapping it via Attach.
 func (k *SelectionKey) Attachment() interface{} {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.attachment
+	if p := k.attachment.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // Attach replaces the attached object.
 func (k *SelectionKey) Attach(a interface{}) {
-	k.mu.Lock()
-	k.attachment = a
-	k.mu.Unlock()
+	k.attachment.Store(&a)
 }
 
 // InterestOps returns the current interest set.
 func (k *SelectionKey) InterestOps() Ops {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.interest
+	return Ops(k.interest.Load())
 }
 
 // SetInterestOps replaces the interest set. Adding OpWrite immediately
 // marks the key write-ready (the simulated socket is always writable;
 // the send path applies flow control inside Write itself).
 func (k *SelectionKey) SetInterestOps(ops Ops) {
-	k.mu.Lock()
-	k.interest = ops
-	becameWritable := ops&OpWrite != 0
-	k.mu.Unlock()
-	if becameWritable {
+	k.interest.Store(int32(ops))
+	if ops&OpWrite != 0 {
 		k.markReady(OpWrite)
 	}
 }
 
-// ReadyOps returns and clears the ready set; the selector loop calls
-// this once per selected key.
+// ReadyOps returns and clears the ready set; the selected-key consumer
+// calls this once per selected key (consume-once semantics).
 func (k *SelectionKey) ReadyOps() Ops {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	r := k.ready & k.interest
-	k.ready = 0
-	return r
+	r := Ops(k.ready.Swap(0))
+	if r == 0 {
+		return 0
+	}
+	k.readyAt.Store(0)
+	return r & Ops(k.interest.Load())
 }
 
 // ReadySince returns the clock nanos at which the oldest pending
 // readiness was signalled; 0 when none. Experiments use it to quantify
 // notification latency.
 func (k *SelectionKey) ReadySince() int64 {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.readyAt
+	return k.readyAt.Load()
 }
 
-// markReady records readiness and wakes the selector.
+// markReady records readiness and, when the key is interested, hands it
+// to its selector's ready queue.
 func (k *SelectionKey) markReady(op Ops) {
-	k.mu.Lock()
-	if k.canceled {
-		k.mu.Unlock()
+	if k.canceled.Load() {
 		return
 	}
-	if k.ready == 0 {
-		k.readyAt = k.sel.clkNanos()
+	for {
+		old := k.ready.Load()
+		if old&int32(op) == int32(op) && old != 0 {
+			// Bit already set: the key is queued (or about to be
+			// collected and re-examined); nothing to publish.
+			break
+		}
+		if k.ready.CompareAndSwap(old, old|int32(op)) {
+			if old == 0 {
+				k.readyAt.Store(k.sel.clkNanos())
+			}
+			break
+		}
 	}
-	k.ready |= op
-	interested := k.interest&op != 0
-	k.mu.Unlock()
-	if interested {
-		k.sel.notify()
+	if Ops(k.interest.Load())&op != 0 {
+		k.sel.enqueueReady(k)
 	}
 }
 
 // cancel removes the key from its selector.
 func (k *SelectionKey) cancel() {
-	k.mu.Lock()
-	k.canceled = true
-	k.mu.Unlock()
+	k.canceled.Store(true)
 	k.sel.remove(k)
 }
 
 // Canceled reports whether the key was canceled.
 func (k *SelectionKey) Canceled() bool {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.canceled
+	return k.canceled.Load()
 }
 
 // Selector multiplexes channel readiness, mirroring
 // java.nio.channels.Selector including Wakeup — which MopEye's TunReader
-// uses to make the single MainWorker thread monitor the tunnel read
-// queue and the socket events simultaneously (§3.2).
+// uses to make a packet-processing thread monitor its tunnel packet
+// queue and its socket events simultaneously (§3.2). In the sharded
+// multi-worker engine each worker owns one Selector, so readiness never
+// crosses a shared dispatcher.
+//
+// Select is O(ready), not O(registered): markReady pushes interested
+// keys onto a ready queue, and Select drains the queue instead of
+// scanning every registered key. The scan was the top entry of the
+// loopback ceiling CPU profile once the ring path stopped allocating —
+// thousands of idle keys paid a mutexed poll on every wakeup.
 type Selector struct {
 	p *Provider
 
 	mu     sync.Mutex
 	cond   *sync.Cond
 	keys   map[*SelectionKey]struct{}
+	readyQ []*SelectionKey
 	wakeup bool
 	closed bool
 	// Selects counts Select returns; Wakeups counts explicit Wakeup
@@ -158,7 +180,11 @@ func (s *Selector) Register(ch *Channel, ops Ops, attachment interface{}) *Selec
 	if c := drawCost(s.p.Costs.Register, s.p.rng, &s.p.mu); c > 0 {
 		s.p.Clk.SleepFine(c)
 	}
-	key := &SelectionKey{sel: s, ch: ch, attachment: attachment, interest: ops}
+	key := &SelectionKey{sel: s, ch: ch}
+	key.interest.Store(int32(ops))
+	if attachment != nil {
+		key.Attach(attachment)
+	}
 	s.mu.Lock()
 	s.keys[key] = struct{}{}
 	s.mu.Unlock()
@@ -178,11 +204,19 @@ func (s *Selector) Register(ch *Channel, ops Ops, attachment interface{}) *Selec
 func (s *Selector) remove(k *SelectionKey) {
 	s.mu.Lock()
 	delete(s.keys, k)
+	// A queued canceled key is left in readyQ; collectLocked drops it.
 	s.mu.Unlock()
 }
 
-func (s *Selector) notify() {
+// enqueueReady publishes a ready-and-interested key to the selector and
+// wakes a pending Select. The queued flag keeps a key from occupying
+// more than one queue slot however many ops fire before it is selected.
+func (s *Selector) enqueueReady(k *SelectionKey) {
 	s.mu.Lock()
+	if !k.queued {
+		k.queued = true
+		s.readyQ = append(s.readyQ, k)
+	}
 	s.wakeup = true
 	s.cond.Broadcast()
 	s.mu.Unlock()
@@ -190,7 +224,8 @@ func (s *Selector) notify() {
 
 // Wakeup unblocks a pending or the next Select call, like
 // java.nio.channels.Selector.wakeup(). TunReader calls this after
-// enqueuing a tunnel packet (§3.2).
+// enqueuing a tunnel packet (§3.2); the batched reader calls it once
+// per burst per touched worker.
 func (s *Selector) Wakeup() {
 	s.mu.Lock()
 	s.Wakeups++
@@ -270,17 +305,23 @@ func (s *Selector) selectImpl(timeout time.Duration) []*SelectionKey {
 	}
 }
 
-// collectLocked gathers keys whose ready∩interest is non-empty. Caller
+// collectLocked drains the ready queue, keeping the keys whose
+// ready∩interest is still non-empty — a key may have been consumed (or
+// canceled) between enqueue and collection, in which case it is
+// dropped; readiness arriving after the drop re-enqueues it. Caller
 // holds s.mu.
 func (s *Selector) collectLocked() []*SelectionKey {
-	var out []*SelectionKey
-	for k := range s.keys {
-		k.mu.Lock()
-		if !k.canceled && k.ready&k.interest != 0 {
+	if len(s.readyQ) == 0 {
+		return nil
+	}
+	out := make([]*SelectionKey, 0, len(s.readyQ))
+	for _, k := range s.readyQ {
+		k.queued = false
+		if !k.canceled.Load() && Ops(k.ready.Load())&Ops(k.interest.Load()) != 0 {
 			out = append(out, k)
 		}
-		k.mu.Unlock()
 	}
+	s.readyQ = s.readyQ[:0]
 	return out
 }
 

@@ -44,6 +44,16 @@ type DispatchBenchOptions struct {
 	// what burst reads buy at the ceiling (`paperbench -exp dispatch
 	// -readbatch 1,64`).
 	ReadBatch int
+	// ReadBatchAuto runs the AIMD burst governor instead of a pinned
+	// ReadBatch (which then serves as the ceiling) — the `-readbatch
+	// auto` arm, proving the governor converges near the best fixed
+	// batch.
+	ReadBatchAuto bool
+	// SharedDispatcher runs the legacy shared-selector + dispatcher
+	// topology instead of the default per-worker selectors — the
+	// ablation baseline quantifying what the shared-nothing hot path
+	// buys (`paperbench -exp dispatch -dispatcher shared`).
+	SharedDispatcher bool
 	// Subscribers attaches this many live measurement subscribers
 	// (Phone.Subscribe draining concurrently) for the duration of the
 	// flood — the BenchmarkSubscribeOverhead knob proving the
@@ -79,6 +89,12 @@ type DispatchBenchRow struct {
 	// and records lost to full subscriber rings.
 	Streamed      int
 	StreamDropped int
+	// AvgReadBatch is the realised burst size over the flood
+	// (BatchedPackets/ReadBatches); BatchLimit is the reader's burst
+	// limit when the flood ended — under ReadBatchAuto, where the
+	// governor converged. Both zero at Workers=1 (no batched reader).
+	AvgReadBatch float64
+	BatchLimit   int
 }
 
 // DispatchBenchResult is the full sweep.
@@ -110,16 +126,18 @@ func (r *DispatchBenchResult) Speedup(workers int) float64 {
 func (r *DispatchBenchResult) String() string {
 	var b strings.Builder
 	streaming := r.Options.Subscribers > 0
-	fmt.Fprintf(&b, "%-8s %10s %10s %12s %10s %10s %8s",
-		"workers", "duration", "packets", "pkts/sec", "udp-relay", "udp-drop", "speedup")
+	fmt.Fprintf(&b, "%-8s %10s %10s %12s %10s %10s %8s %10s %6s",
+		"workers", "duration", "packets", "pkts/sec", "udp-relay", "udp-drop", "speedup",
+		"avg-batch", "limit")
 	if streaming {
 		fmt.Fprintf(&b, " %10s %12s", "streamed", "stream-drop")
 	}
 	b.WriteByte('\n')
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%-8d %10s %10d %12.0f %10d %10d %7.2fx",
+		fmt.Fprintf(&b, "%-8d %10s %10d %12.0f %10d %10d %7.2fx %10.1f %6d",
 			row.Workers, row.Duration.Round(time.Millisecond), row.Packets,
-			row.PacketsPerSec, row.UDPRelayed, row.UDPDropped, r.Speedup(row.Workers))
+			row.PacketsPerSec, row.UDPRelayed, row.UDPDropped, r.Speedup(row.Workers),
+			row.AvgReadBatch, row.BatchLimit)
 		if streaming {
 			fmt.Fprintf(&b, " %10d %12d", row.Streamed, row.StreamDropped)
 		}
@@ -156,7 +174,14 @@ func runDispatchOnce(o DispatchBenchOptions, workers int) (DispatchBenchRow, err
 			Addr:   fmt.Sprintf("203.0.113.%d:80", 10+i),
 		}
 	}
-	phone, err := New(Options{Servers: servers, Workers: workers, ReadBatch: o.ReadBatch, Loopback: true})
+	phone, err := New(Options{
+		Servers:          servers,
+		Workers:          workers,
+		ReadBatch:        o.ReadBatch,
+		ReadBatchAuto:    o.ReadBatchAuto,
+		SharedDispatcher: o.SharedDispatcher,
+		Loopback:         true,
+	})
 	if err != nil {
 		return DispatchBenchRow{}, err
 	}
@@ -279,5 +304,7 @@ func runDispatchOnce(o DispatchBenchOptions, workers int) (DispatchBenchRow, err
 		Errors:        int(errCount.Load()),
 		Streamed:      int(streamed.Load()),
 		StreamDropped: int(phone.StreamDrops()),
+		AvgReadBatch:  mid.AvgReadBatch,
+		BatchLimit:    mid.ReadBatchLimit,
 	}, nil
 }

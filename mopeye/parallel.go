@@ -34,6 +34,13 @@ type ParallelBenchOptions struct {
 	// ReadBatch sets the engine's burst size for the run: 0 keeps the
 	// engine default, 1 disables batching.
 	ReadBatch int
+	// ReadBatchAuto runs the AIMD burst governor (ReadBatch becomes
+	// the ceiling) instead of a pinned burst size.
+	ReadBatchAuto bool
+	// SharedDispatcher runs the legacy shared-selector + dispatcher
+	// topology instead of the default per-worker selectors — the
+	// sharded-selector ablation's baseline arm.
+	SharedDispatcher bool
 }
 
 // DefaultParallelBenchOptions returns a flood heavy enough that worker
@@ -123,7 +130,13 @@ func runParallelOnce(o ParallelBenchOptions, workers int) (ParallelBenchRow, err
 			RTTMillis: o.RTTMillis,
 		}
 	}
-	phone, err := New(Options{Servers: servers, Workers: workers, ReadBatch: o.ReadBatch})
+	phone, err := New(Options{
+		Servers:          servers,
+		Workers:          workers,
+		ReadBatch:        o.ReadBatch,
+		ReadBatchAuto:    o.ReadBatchAuto,
+		SharedDispatcher: o.SharedDispatcher,
+	})
 	if err != nil {
 		return ParallelBenchRow{}, err
 	}
