@@ -2,19 +2,25 @@
 // endpoint MopEye phones upload their measurement batches to (§4
 // deployment shape). It authenticates device stamps (and a shared
 // token when configured), deduplicates batches on their idempotency
-// keys, appends accepted batches to a durable spool, and serves the
-// assembled dataset back as JSONL.
+// keys, appends accepted batches to a durable segment-rotating spool,
+// maintains streaming per-app/per-network quantile sketches, and
+// serves the assembled dataset back as JSONL.
 //
 // Endpoints: POST /v1/upload (batch wire encoding), GET /v1/records
-// (JSONL dump), GET /v1/stats, GET /healthz.
+// (JSONL dump; 404 with -retain-records=false), GET /v1/stats
+// (sketched aggregates, O(1) in dataset size), GET /healthz.
 //
 // Usage:
 //
 //	collectord [-addr 127.0.0.1:8477] [-spool DIR] [-token T]
+//	           [-shards N] [-retain-records=BOOL] [-spool-segment-bytes N]
 //
-// Feed it from a phone (`mopeye -upload http://127.0.0.1:8477`) or a
-// fleet, then analyse with `crowdstudy -serve http://127.0.0.1:8477`
-// (live) or `crowdstudy -spool DIR` (offline).
+// -shards 1 (the default) runs a single collector; -shards N>1 runs a
+// crowd.ShardedServer — N full collectors, each spooling under
+// DIR/shard-00i, merged behind one /v1/stats. Feed it from a phone
+// (`mopeye -upload http://127.0.0.1:8477`) or a fleet, then analyse
+// with `crowdstudy -serve http://127.0.0.1:8477` (live) or
+// `crowdstudy -spool DIR` (offline).
 package main
 
 import (
@@ -31,13 +37,75 @@ import (
 	"repro/internal/crowd"
 )
 
-func main() {
-	addr := flag.String("addr", "127.0.0.1:8477", "listen address")
-	spool := flag.String("spool", "", "durable spool directory (empty = memory only)")
-	token := flag.String("token", "", "shared bearer token required on every request (empty = open)")
-	flag.Parse()
+// config is the parsed command line.
+type config struct {
+	addr              string
+	spool             string
+	token             string
+	shards            int
+	retainRecords     bool
+	spoolSegmentBytes int64
+}
 
-	srv, err := crowd.NewServer(crowd.ServerOptions{SpoolDir: *spool, Token: *token})
+// parseFlags parses the command line (without running anything), so
+// flag handling is unit-testable.
+func parseFlags(args []string) (config, error) {
+	var c config
+	fs := flag.NewFlagSet("collectord", flag.ContinueOnError)
+	fs.StringVar(&c.addr, "addr", "127.0.0.1:8477", "listen address")
+	fs.StringVar(&c.spool, "spool", "", "durable spool directory (empty = memory only)")
+	fs.StringVar(&c.token, "token", "", "shared bearer token required on every request (empty = open)")
+	fs.IntVar(&c.shards, "shards", 1, "collector shards: 1 = single server, N>1 = sharded ingest with per-shard spools")
+	fs.BoolVar(&c.retainRecords, "retain-records", true, "keep raw records in memory and serve /v1/records (false = sketched aggregates only, bounded memory)")
+	fs.Int64Var(&c.spoolSegmentBytes, "spool-segment-bytes", 0, "spool segment size cap in bytes (0 = 64 MiB default)")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	if c.shards < 1 {
+		return config{}, fmt.Errorf("collectord: -shards %d (want >= 1)", c.shards)
+	}
+	if c.spoolSegmentBytes < 0 {
+		return config{}, fmt.Errorf("collectord: -spool-segment-bytes %d (want >= 0)", c.spoolSegmentBytes)
+	}
+	return c, nil
+}
+
+// serverOptions maps the command line onto crowd.ServerOptions.
+func (c config) serverOptions() crowd.ServerOptions {
+	retain := crowd.RetainOn
+	if !c.retainRecords {
+		retain = crowd.RetainOff
+	}
+	return crowd.ServerOptions{
+		SpoolDir:          c.spool,
+		Token:             c.token,
+		RetainRecords:     retain,
+		SpoolSegmentBytes: c.spoolSegmentBytes,
+	}
+}
+
+// collector is what main needs from either server shape.
+type collector interface {
+	http.Handler
+	Stats() crowd.ServerStats
+	Close() error
+}
+
+// newCollector builds the configured collector: one crowd.Server, or a
+// crowd.ShardedServer when -shards asks for more.
+func newCollector(c config) (collector, error) {
+	if c.shards == 1 {
+		return crowd.NewServer(c.serverOptions())
+	}
+	return crowd.NewShardedServer(c.serverOptions(), c.shards)
+}
+
+func main() {
+	c, err := parseFlags(os.Args[1:])
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := newCollector(c)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,7 +113,7 @@ func main() {
 		log.Printf("replayed spool: %d batches, %d records", st.Batches, st.Records)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv}
+	hs := &http.Server{Addr: c.addr, Handler: srv}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -57,7 +125,8 @@ func main() {
 		hs.Shutdown(ctx)
 	}()
 
-	log.Printf("collectord listening on http://%s (spool %q)", *addr, *spool)
+	log.Printf("collectord listening on http://%s (spool %q, shards %d, retain-records %v)",
+		c.addr, c.spool, c.shards, c.retainRecords)
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}

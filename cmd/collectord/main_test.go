@@ -1,0 +1,92 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/crowd"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	c, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.addr != "127.0.0.1:8477" || c.shards != 1 || !c.retainRecords || c.spoolSegmentBytes != 0 {
+		t.Errorf("defaults: %+v", c)
+	}
+	o := c.serverOptions()
+	if o.RetainRecords != crowd.RetainOn || o.SpoolSegmentBytes != 0 {
+		t.Errorf("default options: %+v", o)
+	}
+}
+
+func TestParseFlagsAll(t *testing.T) {
+	c, err := parseFlags([]string{
+		"-addr", "0.0.0.0:9999",
+		"-spool", "/tmp/spool",
+		"-token", "secret",
+		"-shards", "8",
+		"-retain-records=false",
+		"-spool-segment-bytes", "1048576",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.addr != "0.0.0.0:9999" || c.spool != "/tmp/spool" || c.token != "secret" {
+		t.Errorf("parsed: %+v", c)
+	}
+	if c.shards != 8 || c.retainRecords || c.spoolSegmentBytes != 1<<20 {
+		t.Errorf("parsed scale flags: %+v", c)
+	}
+	o := c.serverOptions()
+	if o.RetainRecords != crowd.RetainOff || o.SpoolSegmentBytes != 1<<20 ||
+		o.SpoolDir != "/tmp/spool" || o.Token != "secret" {
+		t.Errorf("options: %+v", o)
+	}
+}
+
+func TestParseFlagsRejects(t *testing.T) {
+	for _, args := range [][]string{
+		{"-shards", "0"},
+		{"-shards", "-2"},
+		{"-spool-segment-bytes", "-1"},
+		{"-no-such-flag"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("accepted %v", args)
+		}
+	}
+}
+
+// The parsed config builds the advertised server shapes.
+func TestNewCollectorShapes(t *testing.T) {
+	c, err := parseFlags([]string{"-shards", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := newCollector(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	if _, ok := single.(*crowd.Server); !ok {
+		t.Errorf("-shards 1 built %T", single)
+	}
+
+	c, err = parseFlags([]string{"-shards", "4", "-spool", t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := newCollector(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+	ss, ok := sharded.(*crowd.ShardedServer)
+	if !ok {
+		t.Fatalf("-shards 4 built %T", sharded)
+	}
+	if len(ss.Servers()) != 4 {
+		t.Errorf("shard count: %d", len(ss.Servers()))
+	}
+}

@@ -17,7 +17,17 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|table1|table2|table3|table4|fig5|overhead|parallel|dispatch|fleet] [-fast] [-workers 1,2,4] [-readbatch auto,64] [-dispatcher sharded|shared] [-subs 0] [-phones 8] [-cpuprofile f] [-memprofile f]
+// -exp ingest is the collector load harness: N simulated devices (no
+// engine) push synthesized batches through real HTTPTransports into a
+// sharded retain-off collector, reporting records/sec, upload-latency
+// quantiles, dedup-map size and heap growth. It is deliberately not
+// part of -exp all — it is a load test, sized by -devices (100k
+// default, 1M for the fleet-scale ceiling), with -ingest-floor as the
+// CI records/sec gate and -ingest-verify for sketch-vs-exact checking.
+//
+// Usage:
+//
+//	paperbench [-exp all|table1|table2|table3|table4|fig5|overhead|parallel|dispatch|fleet|ingest] [-fast] [-workers 1,2,4] [-readbatch auto,64] [-dispatcher sharded|shared] [-subs 0] [-phones 8] [-devices 100000] [-ingest-shards 4] [-ingest-floor 0] [-ingest-verify] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
@@ -66,13 +76,17 @@ func parseWorkers(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig5, overhead, parallel, dispatch, fleet")
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig5, overhead, parallel, dispatch, fleet, ingest")
 	fast := flag.Bool("fast", false, "smaller workloads / shorter runs")
 	workers := flag.String("workers", "1,2,4", "worker counts swept by -exp parallel/dispatch")
 	readbatch := flag.String("readbatch", "64", "read/write burst sizes swept by -exp parallel/dispatch (comma list; explicit N pins it, 1 = batching off; 0 or auto = AIMD self-tuning)")
 	dispatcher := flag.String("dispatcher", "sharded", "multi-worker topology for -exp parallel/dispatch: sharded (per-worker selectors) or shared (legacy dispatcher ablation)")
 	subs := flag.Int("subs", 0, "live measurement subscribers attached during -exp dispatch (streaming-pipeline overhead)")
 	phones := flag.Int("phones", 8, "fleet size for -exp fleet")
+	devices := flag.Int("devices", 100_000, "simulated device count for -exp ingest")
+	ingestShards := flag.Int("ingest-shards", 4, "collector shards for -exp ingest")
+	ingestFloor := flag.Float64("ingest-floor", 0, "minimum records/sec for -exp ingest; below it the run exits nonzero (CI smoke gate)")
+	ingestVerify := flag.Bool("ingest-verify", false, "verify sketched medians against exact client-side medians during -exp ingest (costs O(records) memory)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	flag.Parse()
@@ -255,6 +269,24 @@ func main() {
 			}
 			fmt.Printf("Fleet fan-in — %d phones into one collector, in-process vs HTTP upload:\n", o.Phones)
 			fmt.Println(res)
+		case "ingest":
+			o := mopeye.DefaultIngestBenchOptions()
+			o.Devices = *devices
+			o.ServerShards = *ingestShards
+			o.VerifyExact = *ingestVerify
+			if *fast {
+				o.Devices = min(o.Devices, 10_000)
+			}
+			res, err := mopeye.RunIngestBench(o)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("Collector ingest — %d simulated devices through the HTTP upload path into a %d-shard collector (retain-records off):\n",
+				res.Devices, o.ServerShards)
+			fmt.Println(res)
+			if *ingestFloor > 0 && res.RecordsPerSec < *ingestFloor {
+				log.Fatalf("ingest throughput %.0f records/sec below floor %.0f", res.RecordsPerSec, *ingestFloor)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)

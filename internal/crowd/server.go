@@ -7,8 +7,10 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/measure"
+	"repro/internal/sketch"
 )
 
 // Server is the collector side of the crowdsourcing wire protocol:
@@ -16,16 +18,44 @@ import (
 // (measure wire encoding) to /v1/upload; the server authenticates the
 // device stamp (and the shared token, when configured), deduplicates
 // on the batch idempotency key, appends accepted batches to a durable
-// spool, and keeps the dataset in memory so /v1/records and Ingest()
-// can feed the §4.2 analysis pipeline at any moment. Exactly-once
-// records from at-least-once delivery: the upload transport retries
-// freely, the key dedup makes redelivery harmless.
+// spool, and maintains streaming per-app/per-network quantile sketches
+// so /v1/stats answers in O(sketch) regardless of dataset size.
+// Exactly-once records from at-least-once delivery: the upload
+// transport retries freely, the key dedup makes redelivery harmless.
+//
+// Ingest state is sharded by device-stamp hash (the flowtable
+// discipline applied to the collector): each internal shard owns its
+// dedup keys, sketch state, and optional raw records behind its own
+// mutex, so uploads from different devices never serialize on one
+// lock. A batch's device decides its shard, and a batch's idempotency
+// key is only ever checked against its own device's shard — consistent
+// because retries of a batch carry the same device stamp.
 
 // Upload protocol headers.
 const (
 	// DeviceHeader carries the uploading phone's device stamp; it must
 	// be present and match the batch header's device.
 	DeviceHeader = "X-Mopeye-Device"
+)
+
+// DefaultIngestShards is the internal lock-shard count used when
+// ServerOptions.IngestShards <= 0.
+const DefaultIngestShards = 16
+
+// RetainMode selects whether the server keeps raw records in memory.
+type RetainMode int
+
+const (
+	// RetainDefault keeps raw records (the seed behaviour): /v1/records,
+	// Records() and Ingest() serve the full dataset.
+	RetainDefault RetainMode = iota
+	// RetainOff drops raw records after they feed the sketches: memory
+	// stays O(devices + apps) at any ingest volume, /v1/records answers
+	// 404, and only the sketched aggregates remain queryable. The load
+	// harness and fleet-scale deployments run here.
+	RetainOff
+	// RetainOn is RetainDefault, spelled explicitly.
+	RetainOn
 )
 
 // ServerOptions configures a collector server.
@@ -40,6 +70,27 @@ type ServerOptions struct {
 	Token string
 	// MaxBatchBytes bounds one upload body. Default 8 MiB.
 	MaxBatchBytes int64
+	// IngestShards is the internal lock-shard count (rounded up to a
+	// power of two). <= 0 selects DefaultIngestShards.
+	IngestShards int
+	// RetainRecords controls raw-record retention; the default retains
+	// (see RetainMode).
+	RetainRecords RetainMode
+	// SpoolSegmentBytes caps one spool segment file; <= 0 selects
+	// DefaultSegmentBytes.
+	SpoolSegmentBytes int64
+	// SketchAlpha is the aggregation sketches' relative accuracy;
+	// <= 0 selects sketch.DefaultAlpha.
+	SketchAlpha float64
+}
+
+func (o *ServerOptions) retain() bool { return o.RetainRecords != RetainOff }
+
+func (o *ServerOptions) alpha() float64 {
+	if o.SketchAlpha <= 0 {
+		return sketch.DefaultAlpha
+	}
+	return o.SketchAlpha
 }
 
 // ServerStats counts what the server has seen.
@@ -55,16 +106,71 @@ type ServerStats struct {
 	BadRequests int
 }
 
+// serverCounters is ServerStats maintained as atomics, so the upload
+// hot path and stats snapshots never touch a lock for counting.
+type serverCounters struct {
+	batches      atomic.Int64
+	records      atomic.Int64
+	duplicates   atomic.Int64
+	authFailures atomic.Int64
+	badRequests  atomic.Int64
+}
+
+func (c *serverCounters) snapshot() ServerStats {
+	return ServerStats{
+		Batches:      int(c.batches.Load()),
+		Records:      int(c.records.Load()),
+		Duplicates:   int(c.duplicates.Load()),
+		AuthFailures: int(c.authFailures.Load()),
+		BadRequests:  int(c.badRequests.Load()),
+	}
+}
+
+// ingestShard is one lock domain of the server's ingest state: the
+// dedup keys, sketches, and (when retained) raw records of the devices
+// hashing here.
+type ingestShard struct {
+	mu   sync.Mutex
+	keys map[string]struct{}
+	recs []measure.Record
+	agg  *agg
+}
+
+// hashDevice returns a stable 64-bit hash of a device stamp (FNV-1a
+// with a murmur-style avalanche finisher — the same construction as
+// flowtable.Hash, for the same reason: device stamps are structured
+// strings like "phone-07", and plain FNV's low bits are too regular on
+// such inputs to spread shards evenly).
+func hashDevice(device string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(device); i++ {
+		h ^= uint64(device[i])
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
 // Server is the HTTP collector. It implements http.Handler.
 type Server struct {
 	o   ServerOptions
 	mux *http.ServeMux
 
-	mu    sync.Mutex
-	keys  map[string]struct{}
-	recs  []measure.Record
+	shards []ingestShard
+	mask   uint64
+	c      serverCounters
+
+	// spool is immutable after construction (nil when memory-only); it
+	// carries its own lock, and Close makes later Appends fail cleanly.
 	spool *Spool
-	stats ServerStats
 }
 
 // NewServer builds a collector server, replaying the spool when one is
@@ -73,18 +179,30 @@ func NewServer(o ServerOptions) (*Server, error) {
 	if o.MaxBatchBytes <= 0 {
 		o.MaxBatchBytes = 8 << 20
 	}
-	s := &Server{o: o, keys: make(map[string]struct{})}
+	n := o.IngestShards
+	if n <= 0 {
+		n = DefaultIngestShards
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	s := &Server{o: o, shards: make([]ingestShard, size), mask: uint64(size - 1)}
+	for i := range s.shards {
+		s.shards[i].keys = make(map[string]struct{})
+		s.shards[i].agg = newAgg(o.alpha())
+	}
 	if o.SpoolDir != "" {
-		spool, batches, err := OpenSpool(o.SpoolDir)
+		spool, replay, err := OpenSpoolOptions(o.SpoolDir, SpoolOptions{SegmentBytes: o.SpoolSegmentBytes})
 		if err != nil {
 			return nil, err
 		}
 		s.spool = spool
-		for _, b := range batches {
-			s.keys[b.Key] = struct{}{}
-			s.recs = append(s.recs, stampRecords(b)...)
-			s.stats.Batches++
-			s.stats.Records += len(b.Records)
+		for _, k := range replay.CompactedKeys {
+			s.shard(k.Device).keys[k.Key] = struct{}{}
+		}
+		for _, b := range replay.Batches {
+			s.commit(s.shard(b.Device), b)
 		}
 	}
 	mux := http.NewServeMux()
@@ -98,24 +216,42 @@ func NewServer(o ServerOptions) (*Server, error) {
 	return s, nil
 }
 
+// shard returns the ingest shard owning a device stamp.
+func (s *Server) shard(device string) *ingestShard {
+	return &s.shards[hashDevice(device)&s.mask]
+}
+
+// commit folds one accepted batch into a shard's state. The caller
+// holds sh.mu (or, during construction, has exclusive access).
+func (s *Server) commit(sh *ingestShard, b measure.Batch) {
+	sh.keys[b.Key] = struct{}{}
+	stamped := stampRecords(b)
+	for _, r := range stamped {
+		sh.agg.observe(r)
+	}
+	if s.o.retain() {
+		sh.recs = append(sh.recs, stamped...)
+	}
+	s.c.batches.Add(1)
+	s.c.records.Add(int64(len(b.Records)))
+}
+
 // ServeHTTP dispatches the collector API. The health probe is exempt
 // from the token gate — liveness checkers rarely carry credentials,
 // and an unauthenticated "ok" reveals nothing about the dataset.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.o.Token != "" && r.URL.Path != "/healthz" && !s.authorized(r) {
-		s.mu.Lock()
-		s.stats.AuthFailures++
-		s.mu.Unlock()
+	if s.o.Token != "" && r.URL.Path != "/healthz" && !authorized(r, s.o.Token) {
+		s.c.authFailures.Add(1)
 		http.Error(w, "bad token", http.StatusUnauthorized)
 		return
 	}
 	s.mux.ServeHTTP(w, r)
 }
 
-// authorized checks the shared bearer token in constant time.
-func (s *Server) authorized(r *http.Request) bool {
+// authorized checks a shared bearer token in constant time.
+func authorized(r *http.Request, token string) bool {
 	got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
-	return ok && subtle.ConstantTimeCompare([]byte(got), []byte(s.o.Token)) == 1
+	return ok && subtle.ConstantTimeCompare([]byte(got), []byte(token)) == 1
 }
 
 // uploadReply is the /v1/upload response body.
@@ -130,65 +266,86 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	// mislabelled relay cannot attribute records to another phone.
 	device := r.Header.Get(DeviceHeader)
 	if device == "" {
-		s.countAuthFailure()
+		s.c.authFailures.Add(1)
 		http.Error(w, "missing "+DeviceHeader, http.StatusForbidden)
 		return
 	}
 	b, err := measure.DecodeBatch(http.MaxBytesReader(w, r.Body, s.o.MaxBatchBytes))
 	if err != nil {
-		s.mu.Lock()
-		s.stats.BadRequests++
-		s.mu.Unlock()
+		s.c.badRequests.Add(1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	if b.Device != device {
-		s.countAuthFailure()
+		s.c.authFailures.Add(1)
 		http.Error(w, "device stamp mismatch", http.StatusForbidden)
 		return
 	}
 
-	s.mu.Lock()
-	if _, dup := s.keys[b.Key]; dup {
-		s.stats.Duplicates++
-		s.mu.Unlock()
+	// Only this device's shard locks: uploads from devices hashing to
+	// other shards proceed concurrently, including through their own
+	// spool appends (the spool serializes the file write itself, not
+	// the dedup-and-commit of independent shards).
+	sh := s.shard(b.Device)
+	sh.mu.Lock()
+	if _, dup := sh.keys[b.Key]; dup {
+		sh.mu.Unlock()
+		s.c.duplicates.Add(1)
 		writeJSON(w, uploadReply{Status: "duplicate"})
 		return
 	}
 	// Spool first, then commit: a failed append leaves the key unseen,
-	// so the phone's retry gets another chance at durability.
+	// so the phone's retry gets another chance at durability. The shard
+	// lock is held across the append to keep spool order and commit
+	// order identical per device — the replay-equals-live invariant.
 	if s.spool != nil {
 		if err := s.spool.Append(b); err != nil {
-			s.mu.Unlock()
+			sh.mu.Unlock()
 			http.Error(w, "spool: "+err.Error(), http.StatusInternalServerError)
 			return
 		}
 	}
-	s.keys[b.Key] = struct{}{}
-	s.recs = append(s.recs, stampRecords(b)...)
-	s.stats.Batches++
-	s.stats.Records += len(b.Records)
-	s.mu.Unlock()
+	s.commit(sh, b)
+	sh.mu.Unlock()
 	writeJSON(w, uploadReply{Status: "accepted", Records: len(b.Records)})
 }
 
-func (s *Server) countAuthFailure() {
-	s.mu.Lock()
-	s.stats.AuthFailures++
-	s.mu.Unlock()
-}
-
 func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
-	recs := s.Records()
+	if !s.o.retain() {
+		http.Error(w, "record retention disabled (RetainRecords=off); only /v1/stats aggregates exist", http.StatusNotFound)
+		return
+	}
 	w.Header().Set("Content-Type", "application/jsonl")
-	if err := measure.WriteJSONL(w, recs); err != nil {
+	enc := measure.NewJSONLEncoder(w)
+	if err := s.streamRecords(enc); err != nil {
 		// Mid-stream failure; the status line is already gone.
 		return
 	}
+	enc.Flush()
+}
+
+// streamRecords writes every retained record, shard by shard, without
+// ever copying the dataset: each shard's slice is snapshotted under
+// its lock (records already appended are immutable, so the snapshot
+// stays valid while later uploads append beyond it) and encoded
+// outside the lock.
+func (s *Server) streamRecords(enc *measure.JSONLEncoder) error {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		snap := sh.recs[:len(sh.recs):len(sh.recs)]
+		sh.mu.Unlock()
+		for _, r := range snap {
+			if err := enc.Write(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.Stats())
+	writeJSON(w, s.Summary())
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -196,35 +353,110 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// Records returns a copy of the accepted dataset in arrival order,
-// device-stamped.
+// Records returns a copy of the accepted dataset, shard by shard (each
+// shard in arrival order), device-stamped. Nil when retention is off.
 func (s *Server) Records() []measure.Record {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]measure.Record(nil), s.recs...)
+	if !s.o.retain() {
+		return nil
+	}
+	out := make([]measure.Record, 0, s.c.records.Load())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.recs...)
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // Ingest assembles the accepted dataset for the §4.2 analysis
 // pipeline — what `crowdstudy -serve` runs against a live collector.
+// With retention off the dataset is empty; use Summary instead.
 func (s *Server) Ingest() *Dataset {
 	return Ingest(s.Records())
 }
 
 // Stats snapshots the server counters.
 func (s *Server) Stats() ServerStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return s.c.snapshot()
+}
+
+// mergedAgg folds every shard's aggregation state into one, shard
+// locks taken one at a time. O(shards × apps × sketch bins).
+func (s *Server) mergedAgg() *agg {
+	dst := newAgg(s.o.alpha())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		dst.merge(sh.agg)
+		sh.mu.Unlock()
+	}
+	return dst
+}
+
+// Summary assembles the sketched /v1/stats document. Cost is
+// independent of dataset size.
+func (s *Server) Summary() Summary {
+	a := s.mergedAgg()
+	perApp, perNet := a.render()
+	return Summary{
+		Stats:            s.Stats(),
+		TCPRecords:       a.tcp,
+		DNSRecords:       a.dns,
+		RelativeAccuracy: s.o.alpha(),
+		Shards:           len(s.shards),
+		RetainRecords:    s.o.retain(),
+		PerApp:           perApp,
+		PerNet:           perNet,
+	}
+}
+
+// AppMedianMS returns an app's sketched median TCP connect RTT in
+// milliseconds, merging only that app's per-shard sketches —
+// O(shards × sketch bins), no dataset scan. ok reports whether the
+// app has any measurements.
+func (s *Server) AppMedianMS(app string) (ms float64, ok bool) {
+	merged := sketch.New(s.o.alpha())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if sk := sh.agg.perApp[app]; sk != nil {
+			merged.Merge(sk)
+		}
+		sh.mu.Unlock()
+	}
+	if merged.Count() == 0 {
+		return 0, false
+	}
+	return merged.Median(), true
+}
+
+// DedupKeys reports how many idempotency keys the server holds — the
+// dedup-map footprint the load harness tracks.
+func (s *Server) DedupKeys() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total += len(sh.keys)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// CompactSpool drops the spool's sealed segments (preserving their
+// dedup keys); see Spool.Compact. A memory-only server reports zeros.
+func (s *Server) CompactSpool() (segments, keys int, err error) {
+	if s.spool == nil {
+		return 0, 0, nil
+	}
+	return s.spool.Compact()
 }
 
 // Close releases the spool (accepted data stays readable in memory).
 func (s *Server) Close() error {
-	s.mu.Lock()
-	spool := s.spool
-	s.spool = nil
-	s.mu.Unlock()
-	if spool == nil {
+	if s.spool == nil {
 		return nil
 	}
-	return spool.Close()
+	return s.spool.Close()
 }

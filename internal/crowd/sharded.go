@@ -1,0 +1,223 @@
+package crowd
+
+import (
+	"fmt"
+	"net/http"
+	"path/filepath"
+
+	"repro/internal/measure"
+	"repro/internal/sketch"
+)
+
+// ShardedServer scales the collector past one Server's spool: N
+// complete Server shards (each with its own spool directory, dedup
+// state, and sketches) behind a thin router that sends every upload to
+// the shard owning its device stamp, plus a fan-in merger that folds
+// the shard sketches and counters into one combined /v1/stats.
+//
+// Routing is by the same device-stamp hash the Servers use internally,
+// so a device's retries always land on the same shard and the
+// per-shard idempotency-key dedup keeps the exactly-once guarantee —
+// the fleet e2e's byte-identical-dataset property holds under sharding
+// unchanged. Because sketch merges are exact (bin-wise addition), the
+// combined Summary is identical to what one unsharded Server would
+// have produced from the same records.
+
+// DefaultServerShards is the shard count used when NewShardedServer is
+// given n <= 0.
+const DefaultServerShards = 4
+
+// ShardedServer is an http.Handler fronting N collector shards.
+type ShardedServer struct {
+	o      ServerOptions
+	shards []*Server
+	mask   uint64
+	mux    *http.ServeMux
+}
+
+// NewShardedServer builds n collector shards (rounded up to a power of
+// two; n <= 0 selects DefaultServerShards) from a common option set.
+// When o.SpoolDir is set, shard i spools under "<dir>/shard-00i" —
+// per-shard spools never contend on one file.
+func NewShardedServer(o ServerOptions, n int) (*ShardedServer, error) {
+	if n <= 0 {
+		n = DefaultServerShards
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	ss := &ShardedServer{o: o, shards: make([]*Server, size), mask: uint64(size - 1)}
+	for i := range ss.shards {
+		so := o
+		if o.SpoolDir != "" {
+			so.SpoolDir = filepath.Join(o.SpoolDir, fmt.Sprintf("shard-%03d", i))
+		}
+		srv, err := NewServer(so)
+		if err != nil {
+			for _, s := range ss.shards[:i] {
+				s.Close()
+			}
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		ss.shards[i] = srv
+	}
+	mux := http.NewServeMux()
+	// Uploads route whole to the owning shard, which performs its own
+	// auth, dedup, spool, and commit — the router adds no locking.
+	mux.HandleFunc("POST /v1/upload", func(w http.ResponseWriter, r *http.Request) {
+		ss.route(r.Header.Get(DeviceHeader)).ServeHTTP(w, r)
+	})
+	// The read side is served by the fan-in merger, behind the same
+	// token gate the shards apply.
+	mux.HandleFunc("GET /v1/stats", ss.handleStats)
+	mux.HandleFunc("GET /v1/records", ss.handleRecords)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	ss.mux = mux
+	return ss, nil
+}
+
+// route returns the shard owning a device stamp. A missing stamp
+// routes to shard 0, whose upload handler rejects it.
+func (ss *ShardedServer) route(device string) *Server {
+	return ss.shards[hashDevice(device)&ss.mask]
+}
+
+// ServeHTTP dispatches the combined collector API.
+func (ss *ShardedServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if ss.o.Token != "" && r.URL.Path != "/healthz" && r.URL.Path != "/v1/upload" && !authorized(r, ss.o.Token) {
+		http.Error(w, "bad token", http.StatusUnauthorized)
+		return
+	}
+	ss.mux.ServeHTTP(w, r)
+}
+
+func (ss *ShardedServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, ss.Summary())
+}
+
+func (ss *ShardedServer) handleRecords(w http.ResponseWriter, r *http.Request) {
+	if !ss.o.retain() {
+		http.Error(w, "record retention disabled (RetainRecords=off); only /v1/stats aggregates exist", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	enc := measure.NewJSONLEncoder(w)
+	for _, s := range ss.shards {
+		if err := s.streamRecords(enc); err != nil {
+			return
+		}
+	}
+	enc.Flush()
+}
+
+// Records concatenates every shard's dataset in shard order. Nil when
+// retention is off.
+func (ss *ShardedServer) Records() []measure.Record {
+	if !ss.o.retain() {
+		return nil
+	}
+	var out []measure.Record
+	for _, s := range ss.shards {
+		out = append(out, s.Records()...)
+	}
+	return out
+}
+
+// Ingest assembles the combined dataset for the analysis pipeline.
+func (ss *ShardedServer) Ingest() *Dataset {
+	return Ingest(ss.Records())
+}
+
+// Stats sums the shard counters.
+func (ss *ShardedServer) Stats() ServerStats {
+	var t ServerStats
+	for _, s := range ss.shards {
+		st := s.Stats()
+		t.Batches += st.Batches
+		t.Records += st.Records
+		t.Duplicates += st.Duplicates
+		t.AuthFailures += st.AuthFailures
+		t.BadRequests += st.BadRequests
+	}
+	return t
+}
+
+// Summary merges every shard's sketches into the combined /v1/stats
+// document — exact, because sketch merge is bin-wise addition.
+func (ss *ShardedServer) Summary() Summary {
+	merged := newAgg(ss.o.alpha())
+	for _, s := range ss.shards {
+		merged.merge(s.mergedAgg())
+	}
+	perApp, perNet := merged.render()
+	return Summary{
+		Stats:            ss.Stats(),
+		TCPRecords:       merged.tcp,
+		DNSRecords:       merged.dns,
+		RelativeAccuracy: ss.o.alpha(),
+		Shards:           len(ss.shards),
+		RetainRecords:    ss.o.retain(),
+		PerApp:           perApp,
+		PerNet:           perNet,
+	}
+}
+
+// AppMedianMS merges one app's sketches across all shards.
+func (ss *ShardedServer) AppMedianMS(app string) (ms float64, ok bool) {
+	merged := sketch.New(ss.o.alpha())
+	for _, s := range ss.shards {
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			if sk := sh.agg.perApp[app]; sk != nil {
+				merged.Merge(sk)
+			}
+			sh.mu.Unlock()
+		}
+	}
+	if merged.Count() == 0 {
+		return 0, false
+	}
+	return merged.Median(), true
+}
+
+// DedupKeys totals idempotency keys held across shards.
+func (ss *ShardedServer) DedupKeys() int {
+	t := 0
+	for _, s := range ss.shards {
+		t += s.DedupKeys()
+	}
+	return t
+}
+
+// CompactSpools compacts every shard's spool, totalling dropped
+// segments and preserved keys; the first error stops the sweep.
+func (ss *ShardedServer) CompactSpools() (segments, keys int, err error) {
+	for _, s := range ss.shards {
+		sg, k, err := s.CompactSpool()
+		segments += sg
+		keys += k
+		if err != nil {
+			return segments, keys, err
+		}
+	}
+	return segments, keys, nil
+}
+
+// Servers exposes the underlying shards (read-only use: tests and the
+// load harness inspect per-shard state).
+func (ss *ShardedServer) Servers() []*Server { return ss.shards }
+
+// Close releases every shard's spool, returning the first error.
+func (ss *ShardedServer) Close() error {
+	var first error
+	for _, s := range ss.shards {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

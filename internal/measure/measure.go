@@ -51,6 +51,24 @@ type Record struct {
 	Device string
 }
 
+// Millis returns the record's RTT in milliseconds — the unit every
+// figure in the paper, and every collector-side sketch, aggregates in.
+func (r Record) Millis() float64 {
+	return r.RTT.Seconds() * 1000
+}
+
+// NetKey returns the record's "<kind>/<nettype>" aggregation key, the
+// dimension the collector's per-network sketches are maintained under
+// (e.g. "TCP/WiFi", "DNS/LTE"). Records without a network type group
+// under "<kind>/?".
+func (r Record) NetKey() string {
+	nt := r.NetType
+	if nt == "" {
+		nt = "?"
+	}
+	return r.Kind.String() + "/" + nt
+}
+
 // ByDevice groups records by device.
 func ByDevice(recs []Record) map[string][]Record {
 	m := make(map[string][]Record)
@@ -134,7 +152,7 @@ func (s *Store) Kind(k Kind) []Record {
 func RTTMillis(recs []Record) []float64 {
 	out := make([]float64, len(recs))
 	for i, r := range recs {
-		out[i] = r.RTT.Seconds() * 1000
+		out[i] = r.Millis()
 	}
 	return out
 }

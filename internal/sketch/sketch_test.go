@@ -1,0 +1,276 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// adversarial distributions for the error-bound properties: the shapes
+// that break naive fixed-bin histograms — mass split across far-apart
+// modes, a heavy tail spanning four decades, and zero-variance input.
+func distributions(r *rand.Rand, n int) map[string][]float64 {
+	out := make(map[string][]float64)
+
+	bimodal := make([]float64, n)
+	for i := range bimodal {
+		if i%2 == 0 {
+			bimodal[i] = 8 + r.Float64()*4 // fast mode ~10ms
+		} else {
+			bimodal[i] = 900 + r.Float64()*200 // slow mode ~1s
+		}
+	}
+	out["bimodal"] = bimodal
+
+	heavy := make([]float64, n)
+	for i := range heavy {
+		// Pareto(alpha=1.2): a genuinely heavy tail.
+		heavy[i] = 5 * math.Pow(r.Float64(), -1/1.2)
+	}
+	out["heavy-tail"] = heavy
+
+	constant := make([]float64, n)
+	for i := range constant {
+		constant[i] = 42
+	}
+	out["constant"] = constant
+
+	lognormal := make([]float64, n)
+	for i := range lognormal {
+		lognormal[i] = 50 * math.Exp(0.6*r.NormFloat64())
+	}
+	out["lognormal"] = lognormal
+
+	return out
+}
+
+// exactNearestRank is the exact quantile under the same nearest-rank
+// convention the sketch uses — the value DDSketch's relative-error
+// guarantee is stated against. (Interpolated quantiles can land between
+// two far-apart samples of a bimodal distribution, where no bound in
+// terms of either sample holds.)
+func exactNearestRank(sorted []float64, q float64) float64 {
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// Quantile estimates stay within the advertised relative accuracy on
+// every adversarial distribution, at every tested quantile.
+func TestQuantileErrorBound(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for name, xs := range distributions(r, 20001) {
+		for _, alpha := range []float64{0.005, 0.01, 0.05} {
+			s := New(alpha)
+			for _, x := range xs {
+				s.Add(x)
+			}
+			sorted := append([]float64(nil), xs...)
+			sort.Float64s(sorted)
+			for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1} {
+				got := s.Quantile(q)
+				want := exactNearestRank(sorted, q)
+				if re := relErr(got, want); re > alpha+1e-9 {
+					t.Errorf("%s alpha=%v q=%v: got %v want %v (rel err %.4f)", name, alpha, q, got, want, re)
+				}
+			}
+			// Median agreement against the exact internal/stats pipeline on
+			// odd-length input (odd length makes the interpolated median a
+			// real sample, so the relative bound applies to it too).
+			if got, want := s.Median(), stats.Median(xs); relErr(got, want) > alpha+1e-9 {
+				t.Errorf("%s alpha=%v: median %v vs stats.Median %v", name, alpha, got, want)
+			}
+			if s.Count() != uint64(len(xs)) {
+				t.Errorf("%s: count %d want %d", name, s.Count(), len(xs))
+			}
+		}
+	}
+}
+
+// The constant distribution is recovered exactly: min = max = every
+// quantile (the clamp to exact extremes guarantees it).
+func TestConstantExact(t *testing.T) {
+	s := New(0.01)
+	for i := 0; i < 1000; i++ {
+		s.Add(42)
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(q); got != 42 {
+			t.Errorf("q=%v: %v", q, got)
+		}
+	}
+	if s.Min() != 42 || s.Max() != 42 {
+		t.Errorf("extremes: [%v, %v]", s.Min(), s.Max())
+	}
+}
+
+// sketchEqual asserts two sketches answer identically: same counts,
+// same bins, same quantiles.
+func sketchEqual(t *testing.T, label string, a, b *Sketch) {
+	t.Helper()
+	if a.Count() != b.Count() || a.zero != b.zero || a.Min() != b.Min() || a.Max() != b.Max() {
+		t.Fatalf("%s: counters diverge: (%d,%d,%v,%v) vs (%d,%d,%v,%v)",
+			label, a.Count(), a.zero, a.Min(), a.Max(), b.Count(), b.zero, b.Min(), b.Max())
+	}
+	if len(a.bins) != len(b.bins) {
+		t.Fatalf("%s: bin sets diverge: %d vs %d", label, len(a.bins), len(b.bins))
+	}
+	for k, n := range a.bins {
+		if b.bins[k] != n {
+			t.Fatalf("%s: bin %d: %d vs %d", label, k, n, b.bins[k])
+		}
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("%s: q=%v diverges: %v vs %v", label, q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+	// Sums are float additions in different orders; near-equal is the
+	// honest contract.
+	if relErr(a.Sum(), b.Sum()) > 1e-9 {
+		t.Fatalf("%s: sums diverge: %v vs %v", label, a.Sum(), b.Sum())
+	}
+}
+
+// Merge is commutative and associative: any shard/merge topology over
+// the same samples yields identical bins and quantiles. This is the
+// property the sharded collector's fan-in relies on.
+func TestMergeCommutativeAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for name, xs := range distributions(r, 3000) {
+		parts := make([]*Sketch, 4)
+		for i := range parts {
+			parts[i] = New(0.01)
+		}
+		for i, x := range xs {
+			parts[i%len(parts)].Add(x)
+		}
+
+		// ((a+b)+c)+d
+		left := New(0.01)
+		for _, p := range parts {
+			if err := left.Merge(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// a+(b+(c+d)), built right to left.
+		right := New(0.01)
+		for i := len(parts) - 1; i >= 0; i-- {
+			if err := right.Merge(parts[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// reversed order entirely: d+c+b+a
+		rev := New(0.01)
+		for i := len(parts) - 1; i >= 0; i-- {
+			rev.Merge(parts[i])
+		}
+		// The unsharded sketch over the same stream.
+		whole := New(0.01)
+		for _, x := range xs {
+			whole.Add(x)
+		}
+
+		sketchEqual(t, name+"/assoc", left, right)
+		sketchEqual(t, name+"/comm", left, rev)
+		sketchEqual(t, name+"/sharded-vs-whole", left, whole)
+	}
+}
+
+func TestMergeAlphaMismatch(t *testing.T) {
+	a, b := New(0.01), New(0.02)
+	b.Add(1)
+	if err := a.Merge(b); err == nil {
+		t.Error("alpha mismatch accepted")
+	}
+	// Merging an empty or nil sketch is a no-op regardless of alpha.
+	if err := a.Merge(New(0.02)); err != nil {
+		t.Errorf("empty merge: %v", err)
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("nil merge: %v", err)
+	}
+}
+
+// Non-positive samples count toward ranks but estimate as zero, and the
+// sketch stays well-defined around them.
+func TestZeroAndNegative(t *testing.T) {
+	s := New(0.01)
+	s.Add(0)
+	s.Add(-5)
+	for i := 0; i < 8; i++ {
+		s.Add(100)
+	}
+	if s.Count() != 10 {
+		t.Fatalf("count %d", s.Count())
+	}
+	if got := s.Quantile(0); got != -5 {
+		t.Errorf("q0: %v", got)
+	}
+	if got := s.Median(); relErr(got, 100) > 0.01 {
+		t.Errorf("median: %v", got)
+	}
+}
+
+// Memory stays O(bins): a million samples over four decades occupy a
+// bounded bin set, and Clone is independent of its source.
+func TestBoundedBinsAndClone(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	s := New(0.01)
+	for i := 0; i < 1_000_000; i++ {
+		s.Add(math.Pow(10, r.Float64()*4)) // 1 .. 10^4
+	}
+	// log_gamma(10^4) bins ≈ ln(10^4)/ln(gamma) ≈ 9.2/0.02 ≈ 461.
+	if s.Bins() > 600 {
+		t.Errorf("bins: %d", s.Bins())
+	}
+	c := s.Clone()
+	sketchEqual(t, "clone", s, c)
+	c.Add(12345)
+	if s.Count() == c.Count() {
+		t.Error("clone shares state with source")
+	}
+}
+
+func TestEmptySketch(t *testing.T) {
+	s := New(0)
+	if s.RelativeAccuracy() != DefaultAlpha {
+		t.Errorf("default alpha: %v", s.RelativeAccuracy())
+	}
+	if s.Quantile(0.5) != 0 || s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 {
+		t.Error("empty sketch answers non-zero")
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	s := New(0.01)
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = 50 * math.Exp(0.6*r.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(xs[i&1023])
+	}
+}
+
+func BenchmarkQuantile(b *testing.B) {
+	s := New(0.01)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		s.Add(50 * math.Exp(0.6*r.NormFloat64()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Quantile(0.5)
+	}
+}

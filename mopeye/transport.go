@@ -3,6 +3,7 @@ package mopeye
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -79,6 +80,18 @@ type HTTPTransportOptions struct {
 	// Token is the collector's shared bearer token, when it requires
 	// one.
 	Token string
+	// BlockOnFull makes Upload wait for queue space instead of dropping
+	// — backpressure in place of the phone-side bounded-drop contract.
+	// Load generators set it so every synthesized batch is delivered
+	// and the collector's ingest rate is what gets measured; a real
+	// phone must not (a dead collector would stall the relay).
+	BlockOnFull bool
+	// OnAttempt, when set, observes every delivery attempt: the
+	// attempt's wall-clock duration and its error (nil on success).
+	// Called from the uploader goroutine, sequentially per transport —
+	// an implementation needs no locking unless shared across
+	// transports. The load harness feeds upload-latency sketches here.
+	OnAttempt func(time.Duration, error)
 
 	// sleep is the backoff clock, overridable in tests.
 	sleep func(time.Duration)
@@ -154,27 +167,38 @@ func NewHTTPTransport(baseURL string, o HTTPTransportOptions) *HTTPTransport {
 	return t
 }
 
-// Upload enqueues one batch. It never blocks: with the queue full the
-// batch is dropped and counted (HTTPTransportStats.Dropped) — the
-// bounded-drop contract that keeps a phone healthy when its collector
-// is not. Returns ErrTransportClosed after Close.
+// Upload enqueues one batch. By default it never blocks: with the
+// queue full the batch is dropped and counted
+// (HTTPTransportStats.Dropped) — the bounded-drop contract that keeps
+// a phone healthy when its collector is not. With BlockOnFull set it
+// waits for queue space instead (checking ctx while it waits).
+// Returns ErrTransportClosed after Close.
 func (t *HTTPTransport) Upload(ctx context.Context, b Batch) error {
-	if ctx != nil {
-		if err := ctx.Err(); err != nil {
-			return err
+	for {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 		}
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closing {
-		return ErrTransportClosed
-	}
-	select {
-	case t.queue <- b:
-		return nil
-	default:
-		t.dropped.Add(1)
-		return nil
+		// The enqueue happens under mu: Close also takes mu before
+		// closing the queue, so a send can never race the close.
+		t.mu.Lock()
+		if t.closing {
+			t.mu.Unlock()
+			return ErrTransportClosed
+		}
+		select {
+		case t.queue <- b:
+			t.mu.Unlock()
+			return nil
+		default:
+		}
+		t.mu.Unlock()
+		if !t.o.BlockOnFull {
+			t.dropped.Add(1)
+			return nil
+		}
+		time.Sleep(100 * time.Microsecond)
 	}
 }
 
@@ -198,7 +222,11 @@ func (t *HTTPTransport) send(b Batch) {
 				backoff = t.o.BackoffMax
 			}
 		}
+		attemptStart := time.Now()
 		retryable, err := t.post(b, raw)
+		if t.o.OnAttempt != nil {
+			t.o.OnAttempt(time.Since(attemptStart), err)
+		}
 		if err == nil {
 			t.uploaded.Add(1)
 			return
@@ -276,6 +304,37 @@ func (t *HTTPTransport) Err() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.err
+}
+
+// FetchCollectorStats retrieves a collector's sketched aggregate
+// document (GET /v1/stats) — the read half of the wire API, O(sketch)
+// on the server however large its dataset. client nil uses a
+// 10-second-timeout default; token may be empty.
+func FetchCollectorStats(client *http.Client, baseURL, token string) (crowd.Summary, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	req, err := http.NewRequest(http.MethodGet, baseURL+"/v1/stats", nil)
+	if err != nil {
+		return crowd.Summary{}, err
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return crowd.Summary{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return crowd.Summary{}, fmt.Errorf("mopeye: collector stats: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var sum crowd.Summary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		return crowd.Summary{}, fmt.Errorf("mopeye: collector stats: %w", err)
+	}
+	return sum, nil
 }
 
 // Stats snapshots the transport counters.
