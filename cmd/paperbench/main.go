@@ -15,6 +15,14 @@
 // pprof profiles of whatever experiment runs, so ceiling hotspots are
 // inspectable without editing code (workflow in EXPERIMENTS.md).
 //
+// -exp scenarios runs the scenario matrix: adverse network-condition
+// profiles (-profiles) crossed with trace-driven fleet workloads
+// (-workloads), each cell a mini-fleet with one planted adverse phone
+// whose measurements are checked for truthfulness against the
+// injected conditions. Any violation exits nonzero (the CI gate).
+// -cell-ms and -cell-phones size the cells; -workers, when given,
+// sweeps the engine worker count as a third axis.
+//
 // Usage:
 //
 // -exp ingest is the collector load harness: N simulated devices (no
@@ -27,10 +35,11 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|table1|table2|table3|table4|fig5|overhead|parallel|dispatch|fleet|ingest] [-fast] [-workers 1,2,4] [-readbatch auto,64] [-dispatcher sharded|shared] [-subs 0] [-phones 8] [-devices 100000] [-ingest-shards 4] [-ingest-floor 0] [-ingest-verify] [-cpuprofile f] [-memprofile f]
+//	paperbench [-exp all|table1|table2|table3|table4|fig5|overhead|parallel|dispatch|fleet|ingest|scenarios] [-fast] [-workers 1,2,4] [-readbatch auto,64] [-dispatcher sharded|shared] [-subs 0] [-phones 8] [-devices 100000] [-ingest-shards 4] [-ingest-floor 0] [-ingest-verify] [-profiles a,b] [-workloads web,video] [-cell-ms 2000] [-cell-phones 3] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -76,7 +85,7 @@ func parseWorkers(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig5, overhead, parallel, dispatch, fleet, ingest")
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig5, overhead, parallel, dispatch, fleet, ingest, scenarios")
 	fast := flag.Bool("fast", false, "smaller workloads / shorter runs")
 	workers := flag.String("workers", "1,2,4", "worker counts swept by -exp parallel/dispatch")
 	readbatch := flag.String("readbatch", "64", "read/write burst sizes swept by -exp parallel/dispatch (comma list; explicit N pins it, 1 = batching off; 0 or auto = AIMD self-tuning)")
@@ -87,9 +96,20 @@ func main() {
 	ingestShards := flag.Int("ingest-shards", 4, "collector shards for -exp ingest")
 	ingestFloor := flag.Float64("ingest-floor", 0, "minimum records/sec for -exp ingest; below it the run exits nonzero (CI smoke gate)")
 	ingestVerify := flag.Bool("ingest-verify", false, "verify sketched medians against exact client-side medians during -exp ingest (costs O(records) memory)")
+	profiles := flag.String("profiles", "", "comma list of condition profiles for -exp scenarios (empty = all)")
+	workloadsList := flag.String("workloads", "", "comma list of workload generators for -exp scenarios (empty = all)")
+	cellMS := flag.Int("cell-ms", 0, "per-cell workload duration in ms for -exp scenarios (0 = default)")
+	cellPhones := flag.Int("cell-phones", 0, "phones per scenario cell including the planted one (0 = default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	flag.Parse()
+
+	workersSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			workersSet = true
+		}
+	})
 
 	var sharedDispatcher bool
 	switch *dispatcher {
@@ -287,6 +307,54 @@ func main() {
 			if *ingestFloor > 0 && res.RecordsPerSec < *ingestFloor {
 				log.Fatalf("ingest throughput %.0f records/sec below floor %.0f", res.RecordsPerSec, *ingestFloor)
 			}
+		case "scenarios":
+			o := mopeye.ScenarioMatrixOptions{
+				PhonesPerCell: *cellPhones,
+				CellDuration:  time.Duration(*cellMS) * time.Millisecond,
+				Seed:          1,
+			}
+			if *profiles != "" {
+				o.Profiles = splitList(*profiles)
+			}
+			if *workloadsList != "" {
+				o.Workloads = splitList(*workloadsList)
+			}
+			// Fast mode shrinks the matrix, not the cell duration: the
+			// slow-paced workloads (chat/sync/video) need the full cell to
+			// accumulate the minimum samples the truthfulness checks
+			// demand, so cutting time would manufacture violations. The
+			// web workload alone still exercises every profile.
+			if *fast && *workloadsList == "" {
+				o.Workloads = []string{"web"}
+			}
+			// -workers sweeps the engine worker count as a third matrix
+			// axis when given explicitly; the default sweep is for the
+			// scaling experiments, so scenarios only honour it when set.
+			sweep := []int{0}
+			if workersSet {
+				s, err := parseWorkers(*workers)
+				if err != nil {
+					log.Fatal(err)
+				}
+				sweep = s
+			}
+			violations := 0
+			for _, w := range sweep {
+				o.Workers = w
+				res, err := mopeye.RunScenarioMatrix(context.Background(), o)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("Scenario matrix — condition profiles x workloads, truthfulness-checked (workers=%s):\n", workersLabel(w))
+				fmt.Println(res)
+				for _, f := range res.Failures() {
+					fmt.Println("VIOLATION:", f)
+					violations++
+				}
+			}
+			if violations > 0 {
+				log.Fatalf("scenario matrix: %d truthfulness violations", violations)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
@@ -295,10 +363,29 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"table1", "table2", "table3", "table4", "fig5", "overhead", "parallel", "dispatch", "fleet"} {
+		for _, name := range []string{"table1", "table2", "table3", "table4", "fig5", "overhead", "parallel", "dispatch", "fleet", "scenarios"} {
 			run(name)
 		}
 		return
 	}
 	run(*exp)
+}
+
+// splitList parses a comma-separated name list.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// workersLabel renders a scenario worker-count arm (0 = engine default).
+func workersLabel(w int) string {
+	if w == 0 {
+		return "default"
+	}
+	return strconv.Itoa(w)
 }

@@ -20,10 +20,20 @@ type Sample struct {
 	RTT    time.Duration
 }
 
+// flowKey identifies one handshake in flight. Keying pending SYNs by
+// the (local, remote) pair — not local alone — keeps two overlapping
+// handshakes from the same local port (a close/redial, or concurrent
+// dials to different servers) from pairing one connection's SYN with
+// the other's SYN-ACK.
+type flowKey struct {
+	local  netip.AddrPort
+	remote netip.AddrPort
+}
+
 // Sniffer records wire events and pairs handshakes.
 type Sniffer struct {
 	mu      sync.Mutex
-	pending map[netip.AddrPort]int64 // local -> SYN time (latest attempt)
+	pending map[flowKey]int64 // flow -> SYN time (latest attempt)
 	samples []Sample
 	events  []netsim.WireEvent
 	keepAll bool
@@ -31,7 +41,7 @@ type Sniffer struct {
 
 // New creates a sniffer and attaches it to the network.
 func New(n *netsim.Network) *Sniffer {
-	s := &Sniffer{pending: make(map[netip.AddrPort]int64)}
+	s := &Sniffer{pending: make(map[flowKey]int64)}
 	n.AddSniffer(s.observe)
 	return s
 }
@@ -46,14 +56,15 @@ func (s *Sniffer) observe(ev netsim.WireEvent) {
 	if s.keepAll {
 		s.events = append(s.events, ev)
 	}
+	key := flowKey{local: ev.Local, remote: ev.Remote}
 	switch ev.Kind {
 	case netsim.EventSYN:
 		// A retransmitted SYN overwrites the earlier timestamp: tcpdump
 		// users pair the SYN-ACK with the SYN that elicited it.
-		s.pending[ev.Local] = ev.At
+		s.pending[key] = ev.At
 	case netsim.EventSYNACK:
-		if at, ok := s.pending[ev.Local]; ok {
-			delete(s.pending, ev.Local)
+		if at, ok := s.pending[key]; ok {
+			delete(s.pending, key)
 			s.samples = append(s.samples, Sample{
 				Local:  ev.Local,
 				Remote: ev.Remote,
@@ -62,7 +73,7 @@ func (s *Sniffer) observe(ev netsim.WireEvent) {
 			})
 		}
 	case netsim.EventRST:
-		delete(s.pending, ev.Local)
+		delete(s.pending, key)
 	}
 }
 

@@ -77,6 +77,53 @@ func TestRetransmittedSYNUsesLatestAttempt(t *testing.T) {
 	}
 }
 
+// Regression for the pending-map key: two handshakes from the same
+// local port overlapping in time (dial to a slow server, then to a
+// fast one before the first completes) must each pair with their own
+// SYN-ACK. Keyed by local address alone, the fast server's SYN
+// overwrote the slow server's pending timestamp and the slow SYN-ACK
+// found nothing to pair with.
+func TestOverlappingDialsPairPerFlow(t *testing.T) {
+	clk := clock.NewReal()
+	net := netsim.New(clk, netsim.LinkParams{Delay: time.Millisecond}, 1)
+	defer net.Close()
+	slow := netip.MustParseAddrPort("93.184.216.40:80")
+	fast := netip.MustParseAddrPort("93.184.216.41:80")
+	net.SetLink(slow.Addr(), netsim.LinkParams{Delay: 25 * time.Millisecond})
+	net.SetLink(fast.Addr(), netsim.LinkParams{Delay: time.Millisecond})
+	net.HandleTCP(slow, netsim.EchoHandler())
+	net.HandleTCP(fast, netsim.EchoHandler())
+	s := New(net)
+
+	done := make(chan *netsim.Conn, 1)
+	go func() {
+		c, err := net.Dial(client, slow) // 50ms handshake
+		if err != nil {
+			t.Error(err)
+			done <- nil
+			return
+		}
+		done <- c
+	}()
+	time.Sleep(10 * time.Millisecond) // slow SYN is on the wire
+	cf, err := net.Dial(client, fast) // overlaps: same local, other remote
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	cs := <-done
+	if cs != nil {
+		defer cs.Close()
+	}
+
+	if got := s.RTTsTo(fast); len(got) != 1 || got[0] > 20 {
+		t.Errorf("fast flow samples = %v, want one ≈2ms sample", got)
+	}
+	if got := s.RTTsTo(slow); len(got) != 1 || got[0] < 40 {
+		t.Errorf("slow flow samples = %v, want one ≈50ms sample (not mispaired with the fast handshake)", got)
+	}
+}
+
 func TestKeepEvents(t *testing.T) {
 	clk := clock.NewReal()
 	net := netsim.New(clk, netsim.LinkParams{Delay: time.Millisecond}, 1)

@@ -310,6 +310,39 @@ func Table6(ds *Dataset, n int) []Table6Row {
 	return rows
 }
 
+// ISPMedianRow is one ISP's median RTT for one measurement kind.
+type ISPMedianRow struct {
+	Name     string
+	N        int
+	MedianMS float64
+}
+
+// ISPMedians ranks ISPs by their median RTT of the given kind, slowest
+// first — the §4.2 per-operator comparison generalised beyond Table
+// 6's LTE/DNS slice. The scenario matrix uses it to check that a
+// planted slow network actually surfaces as the slowest operator in
+// the crowd view.
+func ISPMedians(ds *Dataset, kind measure.Kind) []ISPMedianRow {
+	perISP := make(map[string][]float64)
+	for _, r := range ds.Records {
+		if r.Kind != kind || r.ISP == "" {
+			continue
+		}
+		perISP[r.ISP] = append(perISP[r.ISP], r.RTT.Seconds()*1000)
+	}
+	rows := make([]ISPMedianRow, 0, len(perISP))
+	for isp, ms := range perISP {
+		rows = append(rows, ISPMedianRow{Name: isp, N: len(ms), MedianMS: stats.Median(ms)})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].MedianMS != rows[j].MedianMS {
+			return rows[i].MedianMS > rows[j].MedianMS
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}
+
 // RenderCDFs prints labelled CDF series at the x anchors the paper's
 // figures use (0–400 ms).
 func RenderCDFs(title string, labelled map[string]*stats.CDF) string {

@@ -200,6 +200,16 @@ type Config struct {
 	// sweeper expires it. Zero selects the default of one minute.
 	UDPSessionIdle time.Duration
 
+	// DNSInflightLimit caps how many pooled relay workers may sit in a
+	// blocking DNS receive at once. Each DNS transaction parks its
+	// worker for up to DNSTimeout, so against a dead (100%-timeout)
+	// resolver an unbounded burst of queries wedges the entire pool for
+	// seconds and starves relayed UDP. Queries beyond the cap are shed
+	// and counted in UDPDropped — the bounded-resolver-queue behaviour
+	// a stub resolver's retry logic expects. Zero selects
+	// max(1, UDPPoolSize/2); negative disables the cap.
+	DNSInflightLimit int
+
 	// Record tagging for the crowd dataset dimensions.
 	NetType string
 	ISP     string

@@ -59,13 +59,17 @@ func (e *Engine) dnsTransaction(s *udpSession, query []byte) {
 // udpForward relays one non-DNS datagram through the session socket and
 // relays back at most one response within the UDP timeout (late ones
 // are forwarded by the next datagram's stale drain). Sent and received
-// bytes are attributed to the owning app in the traffic book.
+// bytes are attributed to the owning app in the traffic book. Every
+// datagram ends in exactly one counter — UDPRelayed on a response,
+// UDPNoResponse on a closed window — so lossy paths are visible in
+// Stats instead of silently deflating UDPRelayed.
 func (e *Engine) udpForward(s *udpSession, payload []byte) {
 	e.ctr.udpBytesUp.Add(int64(len(payload)))
 	e.traffic.udp(s.app, int64(len(payload)), 0)
 	s.sock.SendTo(s.flow.Dst, payload)
 	resp, err := s.sock.Recv(e.cfg.UDPTimeout)
 	if err != nil {
+		e.ctr.udpNoResponse.Add(1)
 		return
 	}
 	e.ctr.udpRelayed.Add(1)

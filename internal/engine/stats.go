@@ -25,9 +25,23 @@ type Stats struct {
 	// receive expired (§2.4 leaves retries to the app's resolver; the
 	// failure is still worth surfacing).
 	DNSTimeouts int
-	// UDPDropped counts datagrams dropped because the pooled relay's
-	// job queue was full — UDP's contract under flood.
+	// UDPDropped counts datagrams the relay shed without attempting
+	// delivery: pooled job-queue overflow, NAT-table exhaustion, or the
+	// DNS inflight cap — UDP's contract under flood.
 	UDPDropped int
+	// UDPNoResponse counts relayed non-DNS requests whose receive
+	// window (Config.UDPTimeout) closed with nothing back. The request
+	// went out and is gone as far as this transaction is concerned;
+	// nothing is silent — every relayed datagram lands in exactly one
+	// of UDPRelayed or UDPNoResponse.
+	UDPNoResponse int
+	// UDPLateRelayed counts responses forwarded by a later datagram's
+	// stale drain after their own transaction had already been counted
+	// in UDPNoResponse (a NAT forwards late responses for as long as
+	// the mapping lives). Kept separate from UDPRelayed so the
+	// per-datagram accounting identity stays exact:
+	// UDPLateRelayed ≤ UDPNoResponse always.
+	UDPLateRelayed int
 	// UDPBytesUp/UDPBytesDown are relayed non-DNS UDP payload volumes
 	// (app->server / server->app).
 	UDPBytesUp   int64
@@ -79,6 +93,8 @@ type counters struct {
 	decodeErrors    atomic.Int64
 	dnsTimeouts     atomic.Int64
 	udpDropped      atomic.Int64
+	udpNoResponse   atomic.Int64
+	udpLate         atomic.Int64
 	udpBytesUp      atomic.Int64
 	udpBytesDown    atomic.Int64
 	readBatches     atomic.Int64
@@ -108,6 +124,8 @@ func (e *Engine) Stats() Stats {
 		DecodeErrors:    int(e.ctr.decodeErrors.Load()),
 		DNSTimeouts:     int(e.ctr.dnsTimeouts.Load()),
 		UDPDropped:      int(e.ctr.udpDropped.Load()),
+		UDPNoResponse:   int(e.ctr.udpNoResponse.Load()),
+		UDPLateRelayed:  int(e.ctr.udpLate.Load()),
 		UDPBytesUp:      e.ctr.udpBytesUp.Load(),
 		UDPBytesDown:    e.ctr.udpBytesDown.Load(),
 		ReadBatches:     int(e.ctr.readBatches.Load()),

@@ -99,6 +99,11 @@ type udpRelay struct {
 	idle     time.Duration
 	pool     int
 
+	// dnsLimit caps workers parked in a blocking DNS receive; see
+	// Config.DNSInflightLimit. Zero disables the cap.
+	dnsLimit    int
+	dnsInflight atomic.Int64
+
 	jobs      chan udpJob
 	stopOnce  sync.Once
 	stopping  atomic.Bool
@@ -107,11 +112,24 @@ type udpRelay struct {
 }
 
 func newUDPRelay(e *Engine) *udpRelay {
+	limit := e.cfg.DNSInflightLimit
+	switch {
+	case limit == 0:
+		// Default: at most half the pool may be waiting out a dead
+		// resolver, so relayed UDP always has workers left.
+		limit = e.cfg.UDPPoolSize / 2
+		if limit < 1 {
+			limit = 1
+		}
+	case limit < 0:
+		limit = 0
+	}
 	return &udpRelay{
 		e:        e,
 		sessions: flowtable.New[*udpSession](e.cfg.FlowShards),
 		idle:     e.cfg.UDPSessionIdle,
 		pool:     e.cfg.UDPPoolSize,
+		dnsLimit: limit,
 		jobs:     make(chan udpJob, udpJobQueueDepth),
 	}
 }
@@ -267,7 +285,19 @@ func (r *udpRelay) process(j udpJob) {
 	s.init(r.e)
 	r.drainStale(s)
 	if s.dns {
+		if r.dnsLimit > 0 && r.dnsInflight.Add(1) > int64(r.dnsLimit) {
+			// Too many workers already parked in blocking DNS receives
+			// (a dead resolver regime): shed this query instead of
+			// wedging another worker for the full DNSTimeout. The stub
+			// resolver's retry covers it, and the drop is counted.
+			r.dnsInflight.Add(-1)
+			r.e.ctr.udpDropped.Add(1)
+			return
+		}
 		r.e.dnsTransaction(s, j.payload)
+		if r.dnsLimit > 0 {
+			r.dnsInflight.Add(-1)
+		}
 	} else {
 		r.e.udpForward(s, j.payload)
 	}
@@ -277,7 +307,10 @@ func (r *udpRelay) process(j udpJob) {
 // drainStale forwards responses that arrived on the session socket
 // after an earlier datagram's receive window closed — a NAT forwards
 // late responses for as long as the mapping lives. They bypass the DNS
-// measurement (their transaction already timed out and was counted).
+// measurement (their transaction already timed out and was counted),
+// and they count as UDPLateRelayed rather than UDPRelayed: their
+// originating request was already accounted under UDPNoResponse, so
+// folding them into UDPRelayed would double-book the datagram.
 func (r *udpRelay) drainStale(s *udpSession) {
 	for {
 		resp, ok := s.sock.TryRecv()
@@ -285,7 +318,7 @@ func (r *udpRelay) drainStale(s *udpSession) {
 			return
 		}
 		if !s.dns {
-			r.e.ctr.udpRelayed.Add(1)
+			r.e.ctr.udpLate.Add(1)
 			r.e.ctr.udpBytesDown.Add(int64(len(resp)))
 			r.e.traffic.udp(s.app, 0, int64(len(resp)))
 		}

@@ -341,3 +341,124 @@ func TestUDPFloodBoundedGoroutines(t *testing.T) {
 		return st.UDPRelayed+st.UDPDropped >= totalFlood/2
 	}, "flood relayed or accounted")
 }
+
+// A 100%-timeout DNS regime (blackholed resolver) must not wedge the
+// bounded relay pool: each blocking DNS receive parks a worker for the
+// full DNSTimeout, so without the inflight cap a burst of queries
+// parks all of them and relayed UDP stalls for seconds. With the cap,
+// echo traffic keeps flowing while the blackhole queries wait out
+// their timeouts, and every datagram — measured, timed out, shed —
+// lands in exactly one counter.
+func TestDNSBlackholeDoesNotStarvePool(t *testing.T) {
+	cfg := engine.Default()
+	cfg.DNSTimeout = 600 * time.Millisecond
+	cfg.UDPTimeout = 200 * time.Millisecond
+	tb := newTestbed(t, cfg)
+	// Blackhole the resolver path: every datagram to it vanishes.
+	tb.net.SetLink(tb.dns.Addr(), netsim.LinkParams{Delay: time.Millisecond, Loss: 1.0})
+	echoPort := netip.MustParseAddrPort("203.0.113.77:9999")
+	tb.net.HandleUDP(echoPort, 0, netsim.EchoUDPHandler())
+
+	const dnsQueries = 12 // 3x the default inflight cap of pool/2 = 4
+	var wg sync.WaitGroup
+	for i := 0; i < dnsQueries; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = tb.phone.Resolve(uidApp, tb.dns, "example.com", 900*time.Millisecond)
+		}()
+	}
+
+	// While the blackhole queries are pending, relayed UDP must flow.
+	u, err := tb.phone.OpenUDP(uidApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	const echoes = 10
+	start := time.Now()
+	for i := 0; i < echoes; i++ {
+		if err := u.SendTo(echoPort, []byte("ping")); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := u.Recv(2 * time.Second); err != nil {
+			t.Fatalf("echo %d under DNS blackhole: %v (pool starved?)", i, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > cfg.DNSTimeout {
+		t.Errorf("%d echo round trips took %v with blackhole queries pending; want well under the %v DNS timeout", echoes, elapsed, cfg.DNSTimeout)
+	}
+	wg.Wait()
+
+	sent := tb.phone.UDPDatagramsSent()
+	waitFor(t, 5*time.Second, func() bool {
+		st := tb.eng.Stats()
+		return int64(st.DNSMeasurements+st.DNSTimeouts+st.UDPRelayed+st.UDPNoResponse+st.UDPDropped) == sent
+	}, "exact datagram accounting under DNS blackhole")
+	st := tb.eng.Stats()
+	if st.DNSTimeouts == 0 {
+		t.Error("blackholed resolver produced no DNSTimeouts")
+	}
+	if st.UDPDropped == 0 {
+		t.Errorf("no shed DNS queries counted: %d queries against an inflight cap of %d should shed", dnsQueries, cfg.UDPPoolSize)
+	}
+	if st.DNSMeasurements != 0 {
+		t.Errorf("blackholed resolver produced %d DNS measurements", st.DNSMeasurements)
+	}
+	if st.UDPRelayed < echoes {
+		t.Errorf("UDPRelayed = %d, want >= %d echoes relayed during the blackhole", st.UDPRelayed, echoes)
+	}
+}
+
+// A non-DNS request whose response misses the receive window is
+// counted (UDPNoResponse — never silent), and when the response
+// arrives late it is forwarded to the app by the next datagram's stale
+// drain and counted as UDPLateRelayed, not folded into UDPRelayed
+// where it would double-book the datagram.
+func TestUDPNoResponseAndLateRelayCounted(t *testing.T) {
+	cfg := engine.Default()
+	cfg.UDPTimeout = 100 * time.Millisecond
+	tb := newTestbed(t, cfg)
+	slowPort := netip.MustParseAddrPort("203.0.113.88:7777")
+	// The service thinks for 3x the relay's receive window, so every
+	// response is late.
+	tb.net.HandleUDP(slowPort, 300*time.Millisecond, netsim.EchoUDPHandler())
+
+	u, err := tb.phone.OpenUDP(uidApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	if err := u.SendTo(slowPort, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, func() bool { return tb.eng.Stats().UDPNoResponse >= 1 }, "UDPNoResponse counted")
+	// Let the late response land on the session socket, then poke the
+	// flow with a second datagram whose stale drain forwards it.
+	time.Sleep(350 * time.Millisecond)
+	if err := u.SendTo(slowPort, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	payload, _, err := u.Recv(2 * time.Second)
+	if err != nil {
+		t.Fatalf("late response never reached the app: %v", err)
+	}
+	if string(payload) != "one" {
+		t.Errorf("late-relayed payload = %q, want the first request's echo", payload)
+	}
+	waitFor(t, 3*time.Second, func() bool {
+		st := tb.eng.Stats()
+		return st.UDPNoResponse >= 2 && st.UDPLateRelayed >= 1
+	}, "second window timeout + late relay counted")
+	st := tb.eng.Stats()
+	if st.UDPRelayed != 0 {
+		t.Errorf("UDPRelayed = %d; late responses must count as UDPLateRelayed, not UDPRelayed", st.UDPRelayed)
+	}
+	if st.UDPLateRelayed > st.UDPNoResponse {
+		t.Errorf("UDPLateRelayed %d > UDPNoResponse %d violates the accounting identity", st.UDPLateRelayed, st.UDPNoResponse)
+	}
+	sent := tb.phone.UDPDatagramsSent()
+	if got := int64(st.DNSMeasurements + st.DNSTimeouts + st.UDPRelayed + st.UDPNoResponse + st.UDPDropped); got != sent {
+		t.Errorf("accounting: measured+timeouts+relayed+noresponse+dropped = %d, phone sent %d", got, sent)
+	}
+}

@@ -199,13 +199,15 @@ var errEOF = errors.New("netsim: EOF")
 // scheduler delivers chunks to a destination mailbox after the link's
 // serialisation and propagation delays, in FIFO order. Control signals
 // (EOF after drain, immediate RST) travel out of band so teardown never
-// blocks behind flow control.
+// blocks behind flow control. The link is re-read from the shared
+// linkState per chunk, so a mid-flow SetLink reshapes delivery of
+// everything scheduled after it.
 type scheduler struct {
-	net    *Network
-	delay  time.Duration
-	jitter time.Duration
-	bw     Bandwidth
-	dst    *mailbox
+	net *Network
+	ls  *linkState
+	// down marks direction: true = server->phone (the Down bandwidth).
+	down bool
+	dst  *mailbox
 	// sync marks loopback mode: deliveries happen inline on the
 	// sender's thread and no run goroutine exists.
 	sync bool
@@ -220,13 +222,12 @@ type scheduler struct {
 	ctrl chan struct{} // wakes the run loop to re-check control flags
 }
 
-func newScheduler(n *Network, delay, jitter time.Duration, bw Bandwidth, dst *mailbox) *scheduler {
+func newScheduler(n *Network, ls *linkState, down bool, dst *mailbox) *scheduler {
 	s := &scheduler{
-		net:    n,
-		delay:  delay,
-		jitter: jitter,
-		bw:     bw,
-		dst:    dst,
+		net:  n,
+		ls:   ls,
+		down: down,
+		dst:  dst,
 	}
 	if n.Loopback() {
 		// Zero-delay loopback: no scheduler goroutine at all. Data goes
@@ -256,16 +257,32 @@ func (s *scheduler) send(c chunk) error {
 		return nil
 	}
 	now := s.net.clk.Nanos()
-	start := now
-	if s.nextFree > start {
-		start = s.nextFree
+	// Live link read: a SetLink between writes moves every chunk
+	// scheduled from here on, which is the handover contract.
+	link := s.ls.params()
+	var arr int64
+	if link.SharedQueue {
+		// Bufferbloat mode: serialisation is charged against the
+		// destination's shared per-direction queue, so concurrent flows
+		// inflate each other's delivery times.
+		arr = now + int64(s.ls.reserve(now, len(c.data), s.down)) +
+			int64(link.Delay) + int64(s.net.jitter(link.Jitter))
+	} else {
+		bw := link.Up
+		if s.down {
+			bw = link.Down
+		}
+		start := now
+		if s.nextFree > start {
+			start = s.nextFree
+		}
+		var tx int64
+		if bw > 0 && len(c.data) > 0 {
+			tx = int64(time.Duration(len(c.data)) * time.Second / time.Duration(bw))
+		}
+		s.nextFree = start + tx
+		arr = s.nextFree + int64(link.Delay) + int64(s.net.jitter(link.Jitter))
 	}
-	var tx int64
-	if s.bw > 0 && len(c.data) > 0 {
-		tx = int64(time.Duration(len(c.data)) * time.Second / time.Duration(s.bw))
-	}
-	s.nextFree = start + tx
-	arr := s.nextFree + int64(s.delay) + int64(s.net.jitter(s.jitter))
 	if arr < s.lastArr {
 		arr = s.lastArr
 	}
@@ -413,7 +430,7 @@ type Conn struct {
 	peer       *Conn
 	local      netip.AddrPort
 	remote     netip.AddrPort
-	link       LinkParams
+	ls         *linkState
 	clientSide bool
 
 	rx *mailbox
@@ -430,8 +447,10 @@ func (c *Conn) LocalAddr() netip.AddrPort { return c.local }
 // RemoteAddr returns the peer's address.
 func (c *Conn) RemoteAddr() netip.AddrPort { return c.remote }
 
-// Link returns the path parameters of the connection.
-func (c *Conn) Link() LinkParams { return c.link }
+// Link returns the path parameters the connection currently
+// experiences. It reads live state: after a mid-flow SetLink it
+// reports the post-handover link.
+func (c *Conn) Link() LinkParams { return c.ls.params() }
 
 // Write sends len(b) bytes toward the peer, blocking on flow control.
 func (c *Conn) Write(b []byte) (int, error) {

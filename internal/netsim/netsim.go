@@ -49,17 +49,80 @@ type LinkParams struct {
 	Delay time.Duration
 	// Jitter adds a uniform random [0, Jitter) to each one-way traversal.
 	Jitter time.Duration
-	// Loss is the probability in [0,1) that a connection-attempt SYN or a
-	// UDP datagram is dropped. Established TCP byte streams are reliable
-	// (the kernel retransmits below the socket API, which is the level
-	// this simulator models).
+	// Loss is the probability in [0,1) that a transmission is dropped,
+	// drawn independently per packet and per direction: a
+	// connection-attempt SYN draws once per attempt, while a UDP
+	// request/response exchange draws once for the request and once for
+	// the response — so the effective UDP transaction loss is
+	// 1-(1-Loss)², the way two lossy one-way trips compose on a real
+	// path. Established TCP byte streams are reliable (the kernel
+	// retransmits below the socket API, which is the level this
+	// simulator models).
 	Loss float64
 	// Down/Up limit the server->phone and phone->server directions.
 	Down, Up Bandwidth
+	// SharedQueue models a bufferbloated bottleneck: instead of each
+	// connection serialising against its own private clock, all traffic
+	// to this destination shares one unbounded FIFO per direction,
+	// drained at Down/Up. Queue delay then grows with offered load and
+	// inflates every flow's latency — including SYN/SYN-ACK handshakes,
+	// which is how a saturated cellular uplink distorts measured
+	// connect RTTs.
+	SharedQueue bool
 }
 
 // RTT returns the expected round-trip time without jitter.
 func (l LinkParams) RTT() time.Duration { return 2 * l.Delay }
+
+// linkState is the live, mutable state of one path. Connections,
+// schedulers and in-flight datagrams hold a pointer to it rather than a
+// snapshot of LinkParams, so SetLink mid-flow (a handover, a scripted
+// timeline step) changes the conditions every established flow
+// experiences from that moment on.
+type linkState struct {
+	mu sync.Mutex
+	p  LinkParams
+	// upFree/downFree are the shared serialisation clocks used when
+	// SharedQueue is set: the instant each direction's bottleneck queue
+	// drains.
+	upFree, downFree int64
+}
+
+func (ls *linkState) params() LinkParams {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.p
+}
+
+func (ls *linkState) setParams(p LinkParams) {
+	ls.mu.Lock()
+	ls.p = p
+	ls.mu.Unlock()
+}
+
+// reserve books size bytes onto the shared serialisation queue of one
+// direction and returns the total queue-plus-transmit delay from now.
+// This is the bufferbloat model: an unbounded FIFO drained at the
+// direction's bandwidth, so the wait grows with offered load and every
+// concurrent flow — handshakes included — pays it.
+func (ls *linkState) reserve(now int64, size int, down bool) time.Duration {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	bw, free := ls.p.Up, &ls.upFree
+	if down {
+		bw, free = ls.p.Down, &ls.downFree
+	}
+	start := now
+	if *free > start {
+		start = *free
+	}
+	var tx int64
+	if bw > 0 && size > 0 {
+		tx = int64(time.Duration(size) * time.Second / time.Duration(bw))
+	}
+	*free = start + tx
+	return time.Duration(*free - now)
+}
 
 // WireEventKind classifies sniffer events.
 type WireEventKind int
@@ -130,7 +193,7 @@ type Network struct {
 	mu       sync.Mutex
 	rng      *rand.Rand
 	defLink  LinkParams
-	links    map[netip.Addr]LinkParams
+	links    map[netip.Addr]*linkState
 	tcp      map[netip.AddrPort]TCPHandler
 	udp      map[netip.AddrPort]udpService
 	sniffers []Sniffer
@@ -162,7 +225,7 @@ func New(clk clock.Clock, def LinkParams, seed int64) *Network {
 		clk:     clk,
 		rng:     rand.New(rand.NewSource(seed)),
 		defLink: def,
-		links:   make(map[netip.Addr]LinkParams),
+		links:   make(map[netip.Addr]*linkState),
 		tcp:     make(map[netip.AddrPort]TCPHandler),
 		udp:     make(map[netip.AddrPort]udpService),
 		synRTO:  time.Second,
@@ -202,19 +265,38 @@ func (n *Network) Loopback() bool {
 	return n.loopback
 }
 
-// SetLink overrides the path parameters for one destination address.
-func (n *Network) SetLink(dst netip.Addr, p LinkParams) {
-	n.mu.Lock()
-	n.links[dst] = p
-	n.mu.Unlock()
-}
-
-// Link returns the path parameters used for a destination.
-func (n *Network) Link(dst netip.Addr) LinkParams {
+// linkFor returns the live link state for a destination, creating it
+// from the default parameters on first use. Everything that models the
+// path — dials, per-direction schedulers, in-flight datagrams — goes
+// through the returned pointer, never a copied LinkParams.
+func (n *Network) linkFor(addr netip.Addr) *linkState {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if p, ok := n.links[dst]; ok {
-		return p
+	ls, ok := n.links[addr]
+	if !ok {
+		ls = &linkState{p: n.defLink}
+		n.links[addr] = ls
+	}
+	return ls
+}
+
+// SetLink overrides the path parameters for one destination address.
+// The change is live: established connections and in-flight datagrams
+// to that destination experience the new parameters from this moment on
+// (the next chunk scheduled, the return trip of a datagram still at the
+// server, the next SYN retransmission). That is what lets a scripted
+// condition timeline model a handover mid-flow.
+func (n *Network) SetLink(dst netip.Addr, p LinkParams) {
+	n.linkFor(dst).setParams(p)
+}
+
+// Link returns the path parameters currently used for a destination.
+func (n *Network) Link(dst netip.Addr) LinkParams {
+	n.mu.Lock()
+	ls, ok := n.links[dst]
+	n.mu.Unlock()
+	if ok {
+		return ls.params()
 	}
 	return n.defLink
 }
@@ -324,12 +406,15 @@ func (n *Network) Dial(src, dst netip.AddrPort) (*Conn, error) {
 	if n.isClosed() {
 		return nil, ErrNetDown
 	}
-	link := n.Link(dst.Addr())
+	ls := n.linkFor(dst.Addr())
 	n.mu.Lock()
 	rto, attempts := n.synRTO, n.maxSYN
 	loopback := n.loopback
 	n.mu.Unlock()
 	for i := 0; i < attempts; i++ {
+		// Re-read per attempt: a timeline step may have shifted the link
+		// while this dial was waiting out an RTO.
+		link := ls.params()
 		n.emit(WireEvent{At: n.clk.Nanos(), Kind: EventSYN, Local: src, Remote: dst, Bytes: 40})
 		if !loopback && n.drop(link.Loss) {
 			n.clk.Sleep(rto)
@@ -338,6 +423,14 @@ func (n *Network) Dial(src, dst netip.AddrPort) (*Conn, error) {
 		var rtt time.Duration
 		if !loopback {
 			rtt = link.RTT() + n.jitter(link.Jitter) + n.jitter(link.Jitter)
+			if link.SharedQueue {
+				// The 40-byte SYN and SYN-ACK wait behind whatever is
+				// queued on the bottleneck in each direction — the
+				// mechanism by which bufferbloat distorts measured
+				// connect RTTs.
+				now := n.clk.Nanos()
+				rtt += ls.reserve(now, 40, false) + ls.reserve(now, 40, true)
+			}
 		}
 		handler, ok := n.lookupTCP(dst)
 		if !ok {
@@ -348,7 +441,7 @@ func (n *Network) Dial(src, dst netip.AddrPort) (*Conn, error) {
 		}
 		n.clk.Sleep(rtt)
 		n.emit(WireEvent{At: n.clk.Nanos(), Kind: EventSYNACK, Local: src, Remote: dst, Bytes: 40})
-		client, server := n.newConnPair(src, dst, link)
+		client, server := n.newConnPair(src, dst, ls)
 		go handler(server)
 		return client, nil
 	}
@@ -356,10 +449,12 @@ func (n *Network) Dial(src, dst netip.AddrPort) (*Conn, error) {
 }
 
 // newConnPair wires two halves together with one scheduler per
-// direction.
-func (n *Network) newConnPair(src, dst netip.AddrPort, link LinkParams) (client, server *Conn) {
-	client = &Conn{net: n, local: src, remote: dst, link: link, clientSide: true}
-	server = &Conn{net: n, local: dst, remote: src, link: link}
+// direction. Both halves share the destination's live link state, so a
+// SetLink after establishment reshapes the delay, jitter and bandwidth
+// every subsequent chunk experiences.
+func (n *Network) newConnPair(src, dst netip.AddrPort, ls *linkState) (client, server *Conn) {
+	client = &Conn{net: n, local: src, remote: dst, ls: ls, clientSide: true}
+	server = &Conn{net: n, local: dst, remote: src, ls: ls}
 	client.peer, server.peer = server, client
 	client.rx = newMailbox(DefaultRecvBuffer)
 	server.rx = newMailbox(DefaultRecvBuffer)
@@ -369,8 +464,8 @@ func (n *Network) newConnPair(src, dst netip.AddrPort, link LinkParams) (client,
 	}
 	n.mu.Unlock()
 	// Up direction: client -> server.
-	client.tx = newScheduler(n, link.Delay, link.Jitter, link.Up, server.rx)
+	client.tx = newScheduler(n, ls, false, server.rx)
 	// Down direction: server -> client.
-	server.tx = newScheduler(n, link.Delay, link.Jitter, link.Down, client.rx)
+	server.tx = newScheduler(n, ls, true, client.rx)
 	return client, server
 }

@@ -38,6 +38,13 @@ func EchoHandler() TCPHandler {
 	}
 }
 
+// EchoUDPHandler answers every datagram with its own payload — the
+// UDP counterpart of EchoHandler, used by loss-rate and scenario
+// workload tests.
+func EchoUDPHandler() UDPHandler {
+	return func(req []byte, _ netip.AddrPort) []byte { return req }
+}
+
 // SinkHandler consumes and discards all uploaded bytes, acknowledging
 // nothing — the upload half of a speedtest server.
 func SinkHandler() TCPHandler {

@@ -10,6 +10,13 @@ import (
 // back at the phone. There are no delivery guarantees, matching UDP: on
 // loss or an unregistered destination, deliver is never called.
 //
+// LinkParams.Loss is drawn independently for the request and for the
+// response — each one-way trip is its own gamble, as on a real path —
+// so a transaction completes with probability (1-Loss)². The link is
+// re-read for the return trip: if SetLink changes the path while the
+// request is at the server (a handover), the response travels the new
+// link's loss, delay and jitter.
+//
 // MopEye relays all UDP this way; DNS (port 53) is the case it measures
 // (§2.4). The caller is responsible for retries and timeouts, as a real
 // resolver is.
@@ -18,7 +25,8 @@ func (n *Network) SendUDP(src, dst netip.AddrPort, payload []byte, deliver func(
 		return
 	}
 	n.emit(WireEvent{At: n.clk.Nanos(), Kind: EventUDPOut, Local: src, Remote: dst, Bytes: len(payload)})
-	link := n.Link(dst.Addr())
+	ls := n.linkFor(dst.Addr())
+	link := ls.params()
 	if n.drop(link.Loss) {
 		return
 	}
@@ -40,6 +48,9 @@ func (n *Network) SendUDP(src, dst netip.AddrPort, payload []byte, deliver func(
 		return
 	}
 	outDelay := link.Delay + n.jitter(link.Jitter)
+	if link.SharedQueue {
+		outDelay += ls.reserve(n.clk.Nanos(), len(payload), false)
+	}
 	go func() {
 		n.clk.Sleep(outDelay)
 		if svc.think > 0 {
@@ -49,10 +60,16 @@ func (n *Network) SendUDP(src, dst netip.AddrPort, payload []byte, deliver func(
 		if resp == nil {
 			return
 		}
-		if n.drop(link.Loss) {
+		// Independent per-direction draw, against the link as it is NOW
+		// — the request may have been in flight across a SetLink.
+		back := ls.params()
+		if n.drop(back.Loss) {
 			return
 		}
-		backDelay := link.Delay + n.jitter(link.Jitter)
+		backDelay := back.Delay + n.jitter(back.Jitter)
+		if back.SharedQueue {
+			backDelay += ls.reserve(n.clk.Nanos(), len(resp), true)
+		}
 		n.clk.Sleep(backDelay)
 		if n.isClosed() {
 			return

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -67,6 +68,12 @@ type Phone struct {
 	nextPort uint16
 	closed   bool
 	wg       sync.WaitGroup
+
+	// udpSent counts datagrams successfully injected into the TUN
+	// (DNS queries included). It is the app-side ground truth the
+	// scenario truthfulness checks reconcile the engine's relay
+	// accounting against.
+	udpSent atomic.Int64
 }
 
 // New creates a phone stack bound to addr and starts its demultiplexer,
@@ -176,6 +183,10 @@ func (p *Phone) demux() {
 		}
 	}
 }
+
+// UDPDatagramsSent reports how many datagrams the phone's apps have
+// injected into the TUN (app-side ground truth for relay accounting).
+func (p *Phone) UDPDatagramsSent() int64 { return p.udpSent.Load() }
 
 func (p *Phone) inject(pkt *packet.Packet) error {
 	raw, err := pkt.Encode()

@@ -65,7 +65,11 @@ func (u *UDPConn) SendTo(dst netip.AddrPort, payload []byte) error {
 		return ErrClosed
 	}
 	u.mu.Unlock()
-	return u.phone.inject(packet.UDPPacket(u.local, dst, payload))
+	if err := u.phone.inject(packet.UDPPacket(u.local, dst, payload)); err != nil {
+		return err
+	}
+	u.phone.udpSent.Add(1)
+	return nil
 }
 
 // deliver queues an inbound datagram (called by the demultiplexer).

@@ -63,6 +63,10 @@ type Options struct {
 	Sniff bool
 	// Seed drives all randomness.
 	Seed int64
+	// Clock is the time source for every component of the bed — network,
+	// TUN, phone stack, engine. nil means the wall clock; tests inject a
+	// clock.Virtual to run the whole fixture on simulated time.
+	Clock clock.Clock
 }
 
 // Bed is one assembled phone + network + engine.
@@ -93,7 +97,10 @@ func New(o Options) (*Bed, error) {
 	if o.MeterBaseMB == 0 {
 		o.MeterBaseMB = 12
 	}
-	clk := clock.NewReal()
+	var clk clock.Clock = clock.NewReal()
+	if o.Clock != nil {
+		clk = o.Clock
+	}
 	net := netsim.New(clk, o.Link, o.Seed)
 	if o.Loopback {
 		net.SetLoopback(true)

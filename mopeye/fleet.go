@@ -62,6 +62,12 @@ type FleetPhoneStatus struct {
 	// Records and Uploads are what this phone's collector shipped.
 	Records int
 	Uploads int
+	// Elapsed is the workload's duration measured on the phone's own
+	// clock. On a wall-clock phone it tracks real time; on a phone
+	// running simulated time it reports simulated time — the duration
+	// the device experienced, which is what fleet-level throughput and
+	// pacing arithmetic wants. Zero when the phone failed to construct.
+	Elapsed time.Duration
 	// Err is the phone's failure: construction, workload, or sink
 	// (first of them to occur). nil on success.
 	Err error
@@ -69,11 +75,20 @@ type FleetPhoneStatus struct {
 
 // FleetStats aggregates a completed run.
 type FleetStats struct {
-	Phones   int
-	Failed   int
-	Records  int
-	Uploads  int
+	Phones  int
+	Failed  int
+	Records int
+	Uploads int
+	// Duration is the wall-clock span of Run as the host observed it:
+	// construction, workloads, and teardown across every phone. It is
+	// deliberately wall time — the cost of running the fleet — and says
+	// nothing about time as the phones experienced it.
 	Duration time.Duration
+	// PhoneTime is the longest per-phone workload duration measured on
+	// the phones' own clocks (max over FleetPhoneStatus.Elapsed). Under
+	// simulated time this is the number that means something; comparing
+	// it with Duration shows the simulation speed-up.
+	PhoneTime time.Duration
 }
 
 // Fleet runs N phones into one collector. Construct with NewFleet,
@@ -192,7 +207,12 @@ func (f *Fleet) runPhone(ctx context.Context, i int) {
 	for uid, pkg := range spec.Apps {
 		phone.InstallApp(uid, pkg)
 	}
+	// The workload is timed on the phone's own clock, not time.Now():
+	// under an injected virtual clock the two diverge wildly, and the
+	// duration the device experienced is the one Elapsed reports.
+	t0 := phone.bed.Clk.Nanos()
 	werr := spec.Workload(ctx, phone)
+	st.Elapsed = time.Duration(phone.bed.Clk.Nanos() - t0)
 	// Close flushes the collector's final batch through the attach
 	// drain before returning.
 	phone.Close()
@@ -213,6 +233,9 @@ func (f *Fleet) Stats() FleetStats {
 		}
 		s.Records += st.Records
 		s.Uploads += st.Uploads
+		if st.Elapsed > s.PhoneTime {
+			s.PhoneTime = st.Elapsed
+		}
 	}
 	return s
 }

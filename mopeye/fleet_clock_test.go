@@ -1,0 +1,86 @@
+package mopeye
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// TestFleetPhoneTimeUsesPhoneClock pins the duration-accounting fix:
+// Fleet used to time everything with time.Now() while the phones ran
+// on an injected clock.Clock, so under simulated time the stats
+// misreported. A phone on a virtual clock whose workload sleeps 500 ms
+// of simulated time must report Elapsed/PhoneTime >= 500 ms even
+// though almost no wall time passes, while Duration stays wall-clock.
+func TestFleetPhoneTimeUsesPhoneClock(t *testing.T) {
+	vclk := clock.NewVirtual(time.Unix(1_700_000_000, 0))
+
+	// Pump simulated time forward continuously so every component of
+	// the bed (engine timers, sleeps, the workload below) makes
+	// progress. The pump outlives Run: teardown also sleeps on the
+	// virtual clock.
+	stopPump := make(chan struct{})
+	var pumpWG sync.WaitGroup
+	pumpWG.Add(1)
+	go func() {
+		defer pumpWG.Done()
+		for {
+			select {
+			case <-stopPump:
+				return
+			default:
+				vclk.Advance(5 * time.Millisecond)
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+	defer func() {
+		close(stopPump)
+		pumpWG.Wait()
+	}()
+
+	const simSleep = 500 * time.Millisecond
+	fleet, err := NewFleet(FleetOptions{
+		Phones: []FleetPhone{{
+			Device: "virt-1",
+			Options: Options{
+				Servers: []Server{{Domain: "site.example.com", RTTMillis: 5}},
+				clk:     vclk,
+			},
+			Apps: map[int]string{10001: "com.example.app"},
+			Workload: func(ctx context.Context, p *Phone) error {
+				p.bed.Clk.Sleep(simSleep)
+				return nil
+			},
+		}},
+	})
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	if err := fleet.Run(context.Background()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	st := fleet.PhoneStatuses()[0]
+	if st.Elapsed < simSleep {
+		t.Fatalf("Elapsed = %v, want >= %v (phone-clock time, not wall time)", st.Elapsed, simSleep)
+	}
+	// The pump advances 5 ms per tick, so the sleep overshoots by at
+	// most a few ticks plus whatever ran between the stamps; anything
+	// wildly above the sleep would mean Elapsed is timing the wrong
+	// thing.
+	if st.Elapsed > simSleep+10*time.Second {
+		t.Fatalf("Elapsed = %v, implausibly large for a %v workload", st.Elapsed, simSleep)
+	}
+
+	stats := fleet.Stats()
+	if stats.PhoneTime != st.Elapsed {
+		t.Fatalf("PhoneTime = %v, want max per-phone Elapsed %v", stats.PhoneTime, st.Elapsed)
+	}
+	if stats.Duration <= 0 {
+		t.Fatalf("Duration = %v, want positive wall-clock span", stats.Duration)
+	}
+}

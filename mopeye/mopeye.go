@@ -52,6 +52,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/engine"
 	"repro/internal/measure"
 	"repro/internal/netsim"
@@ -140,6 +141,11 @@ type Options struct {
 	Loopback bool
 	// Seed drives all randomness.
 	Seed int64
+
+	// clk injects the phone's time source (network, TUN, stack, engine);
+	// nil means the wall clock. Unexported: in-package tests and the
+	// scenario runner use it to run phones on simulated time.
+	clk clock.Clock
 }
 
 // Measurement is one opportunistic RTT measurement.
@@ -206,6 +212,7 @@ func New(o Options) (*Phone, error) {
 		Seed:       o.Seed,
 		Sniff:      true,
 		Loopback:   o.Loopback,
+		Clock:      o.clk,
 	}
 	if o.RealisticCosts {
 		opts.SocketCosts = sockets.AndroidCosts()

@@ -1,0 +1,89 @@
+package mopeye
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestWorkloadGeneratorsProduceMeasurements runs every canned
+// generator against a fast echo server and asserts it actually drives
+// traffic: TCP measurements accumulate, and generators visiting a
+// domain site also produce DNS measurements.
+func TestWorkloadGeneratorsProduceMeasurements(t *testing.T) {
+	for _, name := range WorkloadNames() {
+		t.Run(name, func(t *testing.T) {
+			p, err := New(Options{
+				Servers: []Server{{Domain: "site.example.com", RTTMillis: 4}},
+			})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			defer p.Close()
+			p.InstallApp(10001, "com.example.app")
+			wl, err := WorkloadByName(name, WorkloadOptions{
+				Sites:    []string{"site.example.com:443"},
+				Duration: 1200 * time.Millisecond,
+				Seed:     7,
+			})
+			if err != nil {
+				t.Fatalf("WorkloadByName: %v", err)
+			}
+			if err := wl(context.Background(), p); err != nil {
+				t.Fatalf("workload: %v", err)
+			}
+			tcp := len(p.TCPMeasurements())
+			if tcp < 2 {
+				t.Fatalf("workload %q produced %d TCP measurements, want >= 2", name, tcp)
+			}
+			if dns := len(p.DNSMeasurements()); dns < 1 {
+				t.Fatalf("workload %q produced no DNS measurements for a domain site", name)
+			}
+			// The traffic must be attributed to the installed app.
+			for _, m := range p.TCPMeasurements() {
+				if m.App != "com.example.app" {
+					t.Fatalf("measurement attributed to %q, want com.example.app", m.App)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadByNameUnknown pins the registry error path.
+func TestWorkloadByNameUnknown(t *testing.T) {
+	if _, err := WorkloadByName("doomscroll", WorkloadOptions{Sites: []string{"a:1"}}); err == nil {
+		t.Fatal("WorkloadByName accepted an unknown name")
+	}
+}
+
+// TestWorkloadRespectsContext pins that cancellation stops a
+// generator promptly and surfaces as the context error.
+func TestWorkloadRespectsContext(t *testing.T) {
+	p, err := New(Options{
+		Servers: []Server{{Domain: "site.example.com", RTTMillis: 4}},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	p.InstallApp(10001, "com.example.app")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	wl, err := WorkloadByName("web", WorkloadOptions{
+		Sites:    []string{"site.example.com:443"},
+		Duration: time.Hour, // the deadline must come from ctx, not this
+	})
+	if err != nil {
+		t.Fatalf("WorkloadByName: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- wl(ctx, p) }()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("workload returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("workload did not stop after cancellation")
+	}
+}
