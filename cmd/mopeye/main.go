@@ -1,6 +1,13 @@
-// Command mopeye runs the MopEye engine over a simulated phone and
-// workload and prints the opportunistic per-app measurements, like
-// watching the app's all-app view (Figure 1a) fill up.
+// Command mopeye runs the MopEye engine and prints the opportunistic
+// per-app measurements, like watching the app's all-app view
+// (Figure 1a) fill up.
+//
+// By default the engine runs over a simulated phone and workload. With
+// -tun real it attaches to a kernel TUN device instead (build with
+// `-tags realtun`, run privileged): packets the host routes into the
+// device are relayed through kernel sockets — directly, or through a
+// SOCKS5 proxy with -upstream — and every relayed connection yields a
+// per-UID measurement, exactly as on the simulated plane.
 //
 // With -follow each measurement is printed live as the engine records
 // it (the streaming Subscribe API); with -jsonl the measurement
@@ -16,6 +23,7 @@
 // Usage:
 //
 //	mopeye [-apps N] [-conns N] [-pages N] [-realistic] [-variant mopeye|toyvpn|haystack] [-workers N] [-readbatch N|auto] [-follow] [-jsonl] [-upload URL [-device D] [-token T]]
+//	mopeye -tun real [-tun-name mopeye0] [-upstream socks5://host:port] [-duration 30s] [-jsonl]
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"sync"
@@ -32,53 +41,212 @@ import (
 
 	"repro/internal/baselines/haystack"
 	"repro/internal/engine"
+	"repro/internal/upstream"
 	"repro/mopeye"
 )
 
-func main() {
-	apps := flag.Int("apps", 4, "number of simulated apps")
-	pages := flag.Int("pages", 6, "workload rounds per app")
-	conns := flag.Int("conns", 4, "concurrent connections per round")
-	realistic := flag.Bool("realistic", true, "enable Android-like cost models")
-	variant := flag.String("variant", "mopeye", "engine variant: mopeye, toyvpn or haystack")
-	workers := flag.Int("workers", 1, "packet-processing workers (1 = paper-faithful MainWorker)")
-	readbatch := flag.String("readbatch", "auto", "multi-worker read burst size: explicit N pins it (1 = batching off), 0 or auto self-tunes (AIMD up to the default ceiling of 64)")
-	follow := flag.Bool("follow", false, "print each measurement live as the engine records it")
-	jsonl := flag.Bool("jsonl", false, "stream measurements to stdout as JSON Lines (report moves to stderr)")
-	upload := flag.String("upload", "", "collector server base URL (e.g. http://127.0.0.1:8477): upload measurement batches over HTTP as they accrue")
-	device := flag.String("device", "cli-phone", "device stamp for uploaded records")
-	token := flag.String("token", "", "collector bearer token")
-	flag.Parse()
+// config is the parsed command line.
+type config struct {
+	apps      int
+	pages     int
+	conns     int
+	realistic bool
+	variant   string
+	workers   int
+	readBatch int
+	readAuto  bool
+	follow    bool
+	jsonl     bool
+	upload    string
+	device    string
+	token     string
+
+	// Real data plane (-tun real).
+	tun      string
+	tunName  string
+	upstream string
+	duration time.Duration
+}
+
+// parseFlags parses and validates the command line (without running
+// anything), so flag handling is unit-testable.
+func parseFlags(args []string) (config, error) {
+	var c config
+	var readbatch string
+	fs := flag.NewFlagSet("mopeye", flag.ContinueOnError)
+	fs.IntVar(&c.apps, "apps", 4, "number of simulated apps")
+	fs.IntVar(&c.pages, "pages", 6, "workload rounds per app")
+	fs.IntVar(&c.conns, "conns", 4, "concurrent connections per round")
+	fs.BoolVar(&c.realistic, "realistic", true, "enable Android-like cost models")
+	fs.StringVar(&c.variant, "variant", "mopeye", "engine variant: mopeye, toyvpn or haystack")
+	fs.IntVar(&c.workers, "workers", 1, "packet-processing workers (1 = paper-faithful MainWorker)")
+	fs.StringVar(&readbatch, "readbatch", "auto", "multi-worker read burst size: explicit N pins it (1 = batching off), 0 or auto self-tunes (AIMD up to the default ceiling of 64)")
+	fs.BoolVar(&c.follow, "follow", false, "print each measurement live as the engine records it")
+	fs.BoolVar(&c.jsonl, "jsonl", false, "stream measurements to stdout as JSON Lines (report moves to stderr)")
+	fs.StringVar(&c.upload, "upload", "", "collector server base URL (e.g. http://127.0.0.1:8477): upload measurement batches over HTTP as they accrue")
+	fs.StringVar(&c.device, "device", "cli-phone", "device stamp for uploaded records")
+	fs.StringVar(&c.token, "token", "", "collector bearer token")
+	fs.StringVar(&c.tun, "tun", "sim", "data plane: sim (emulated phone + workload) or real (kernel TUN device; needs -tags realtun and privileges)")
+	fs.StringVar(&c.tunName, "tun-name", "", "TUN device name to create (real plane only; empty = kernel-assigned)")
+	fs.StringVar(&c.upstream, "upstream", "", "where relayed flows exit (real plane only): direct (default) or socks5://[user:pass@]host:port")
+	fs.DurationVar(&c.duration, "duration", 30*time.Second, "how long to monitor on the real plane (0 = until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
 
 	// The -readbatch spelling: an explicit N pins the burst size, "0" or
 	// "auto" selects the AIMD governor (ReadBatch stays 0, so the engine
 	// default becomes the governor's ceiling). Either way the knob only
 	// matters at -workers > 1.
-	rbN, rbAuto := 0, false
-	if *readbatch == "auto" || *readbatch == "0" {
-		rbAuto = true
+	if readbatch == "auto" || readbatch == "0" {
+		c.readAuto = true
 	} else {
-		n, err := strconv.Atoi(*readbatch)
+		n, err := strconv.Atoi(readbatch)
 		if err != nil || n < 0 {
-			fmt.Fprintf(os.Stderr, "bad -readbatch %q (want N or auto)\n", *readbatch)
-			os.Exit(2)
+			return config{}, fmt.Errorf("mopeye: bad -readbatch %q (want N or auto)", readbatch)
 		}
-		rbN = n
+		c.readBatch = n
 	}
 
-	var cfg engine.Config
-	switch *variant {
-	case "mopeye":
-		cfg = engine.Default()
-	case "toyvpn":
-		cfg = engine.ToyVpn()
-	case "haystack":
-		cfg = haystack.Config()
+	switch c.variant {
+	case "mopeye", "toyvpn", "haystack":
 	default:
-		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
+		return config{}, fmt.Errorf("mopeye: unknown -variant %q (want mopeye, toyvpn or haystack)", c.variant)
+	}
+
+	switch c.tun {
+	case "sim":
+		if c.tunName != "" {
+			return config{}, fmt.Errorf("mopeye: -tun-name needs -tun real")
+		}
+		if c.upstream != "" {
+			return config{}, fmt.Errorf("mopeye: -upstream needs -tun real (the simulated plane dials the emulated network)")
+		}
+	case "real":
+		if _, err := upstream.ParseSpec(c.upstream); err != nil {
+			return config{}, err
+		}
+	default:
+		return config{}, fmt.Errorf("mopeye: bad -tun %q (want sim or real)", c.tun)
+	}
+	return c, nil
+}
+
+func (c config) engineConfig() engine.Config {
+	switch c.variant {
+	case "toyvpn":
+		return engine.ToyVpn()
+	case "haystack":
+		return haystack.Config()
+	default:
+		return engine.Default()
+	}
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if cfg.tun == "real" {
+		if err := runReal(cfg); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	runSim(cfg)
+}
 
+// runReal attaches the engine to a kernel TUN device and reports what
+// the host's routed traffic measures.
+func runReal(cfg config) error {
+	ecfg := cfg.engineConfig()
+	phone, err := mopeye.NewReal(mopeye.RealOptions{
+		TunName:       cfg.tunName,
+		Upstream:      cfg.upstream,
+		Engine:        &ecfg,
+		Workers:       cfg.workers,
+		ReadBatch:     cfg.readBatch,
+		ReadBatchAuto: cfg.readAuto,
+	})
+	if err != nil {
+		return err
+	}
+	defer phone.Close()
+
+	out := io.Writer(os.Stdout)
+	if cfg.jsonl {
+		out = os.Stderr
+	}
+	fmt.Fprintf(out, "mopeye on %s (mtu %d), upstream %s — route traffic into the device to measure it\n",
+		phone.Device(), phone.MTU(), upstreamLabel(cfg.upstream))
+	if cfg.duration > 0 {
+		fmt.Fprintf(out, "monitoring for %v...\n", cfg.duration)
+	} else {
+		fmt.Fprintln(out, "monitoring until interrupted (ctrl-c)...")
+	}
+
+	// Poll-and-print: the real plane reports live without the simulated
+	// Phone's subscription plumbing.
+	stop := time.After(cfg.duration)
+	if cfg.duration <= 0 {
+		stop = nil
+	}
+	interrupted := interruptCh()
+	seen := 0
+	tick := time.NewTicker(200 * time.Millisecond)
+	defer tick.Stop()
+loop:
+	for {
+		select {
+		case <-stop:
+			break loop
+		case <-interrupted:
+			break loop
+		case <-tick.C:
+			recs := phone.Measurements()
+			if cfg.follow {
+				for _, m := range recs[seen:] {
+					fmt.Fprintf(out, "%s %-4s %-24s -> %-21s %8.1f ms\n",
+						m.At.Format("15:04:05.000"), m.Kind, m.App, m.Dst, m.RTT.Seconds()*1000)
+				}
+			}
+			seen = len(recs)
+		}
+	}
+
+	if cfg.jsonl {
+		if err := phone.ExportJSONL(os.Stdout); err != nil {
+			return err
+		}
+	}
+	st := phone.EngineStats()
+	ts := phone.TunStats()
+	fmt.Fprintf(out, "tun: %d packets in, %d out; engine: %d SYNs, %d established, %d failures\n",
+		ts.PacketsOut, ts.PacketsIn, st.SYNs, st.Established, st.ConnectFailures)
+	printAppReport(out, phone.TCPMeasurements(), phone.AppMedians(1))
+	return nil
+}
+
+// interruptCh delivers one value on ctrl-c.
+func interruptCh() <-chan os.Signal {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	return ch
+}
+
+func upstreamLabel(s string) string {
+	if s == "" {
+		return "direct"
+	}
+	return s
+}
+
+// runSim is the original mode: a simulated phone, network and
+// workload.
+func runSim(cfg config) {
+	ecfg := cfg.engineConfig()
 	servers := []mopeye.Server{
 		{Domain: "social.example.com", RTTMillis: 61, Behaviour: mopeye.Chatty},
 		{Domain: "video.example.com", RTTMillis: 32, Behaviour: mopeye.Chatty},
@@ -88,11 +256,11 @@ func main() {
 	}
 	phone, err := mopeye.New(mopeye.Options{
 		Servers:        servers,
-		Engine:         &cfg,
-		Workers:        *workers,
-		ReadBatch:      rbN,
-		ReadBatchAuto:  rbAuto,
-		RealisticCosts: *realistic,
+		Engine:         &ecfg,
+		Workers:        cfg.workers,
+		ReadBatch:      cfg.readBatch,
+		ReadBatchAuto:  cfg.readAuto,
+		RealisticCosts: cfg.realistic,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -102,7 +270,7 @@ func main() {
 	// The human-readable report: stdout normally, stderr when stdout
 	// carries the JSONL measurement stream.
 	var out io.Writer = os.Stdout
-	if *jsonl {
+	if cfg.jsonl {
 		out = os.Stderr
 		if _, err := phone.Attach(mopeye.NewJSONLSink(os.Stdout)); err != nil {
 			log.Fatal(err)
@@ -113,11 +281,11 @@ func main() {
 	// and ships them to the collector server over HTTP, retries and
 	// idempotency keys included — the deployed app's §4 loop.
 	var transport *mopeye.HTTPTransport
-	if *upload != "" {
-		transport = mopeye.NewHTTPTransport(*upload, mopeye.HTTPTransportOptions{Token: *token})
+	if cfg.upload != "" {
+		transport = mopeye.NewHTTPTransport(cfg.upload, mopeye.HTTPTransportOptions{Token: cfg.token})
 		collector := mopeye.NewCollector(mopeye.CollectorOptions{
 			BatchSize: 64,
-			Device:    *device,
+			Device:    cfg.device,
 			Transport: transport,
 		})
 		if _, err := phone.Attach(collector); err != nil {
@@ -126,7 +294,7 @@ func main() {
 	}
 	followDone := make(chan struct{})
 	close(followDone)
-	if *follow {
+	if cfg.follow {
 		// Subscribe registers before returning, so every measurement
 		// the workload produces is observed — no startup race.
 		stream := phone.Subscribe(context.Background(), mopeye.Filter{})
@@ -144,26 +312,27 @@ func main() {
 		"com.facebook.katana", "com.google.android.youtube",
 		"com.whatsapp", "com.amazon.shopping", "com.google.android.apps.maps",
 	}
-	if *apps > len(pkgs) {
-		*apps = len(pkgs)
+	apps := cfg.apps
+	if apps > len(pkgs) {
+		apps = len(pkgs)
 	}
-	for i := 0; i < *apps; i++ {
+	for i := 0; i < apps; i++ {
 		phone.InstallApp(10001+i, pkgs[i])
 	}
 
 	fmt.Fprintf(out, "running %s engine (%d workers): %d apps x %d rounds x %d connections...\n",
-		*variant, *workers, *apps, *pages, *conns)
+		cfg.variant, cfg.workers, apps, cfg.pages, cfg.conns)
 	start := time.Now()
 	var wg sync.WaitGroup
-	for a := 0; a < *apps; a++ {
+	for a := 0; a < apps; a++ {
 		wg.Add(1)
 		go func(a int) {
 			defer wg.Done()
 			dst := servers[a%len(servers)].Domain + ":443"
 			uid := 10001 + a
-			for p := 0; p < *pages; p++ {
+			for p := 0; p < cfg.pages; p++ {
 				var inner sync.WaitGroup
-				for c := 0; c < *conns; c++ {
+				for c := 0; c < cfg.conns; c++ {
 					inner.Add(1)
 					go func() {
 						defer inner.Done()
@@ -199,7 +368,7 @@ func main() {
 		}
 		ts := transport.Stats()
 		fmt.Fprintf(out, "uploaded %d batches to %s (%d retries, %d dropped, %d failed)\n",
-			ts.Uploaded, *upload, ts.Retried, ts.Dropped, ts.Failed)
+			ts.Uploaded, cfg.upload, ts.Retried, ts.Dropped, ts.Failed)
 	}
 
 	st := phone.EngineStats()
@@ -209,8 +378,14 @@ func main() {
 	fmt.Fprintf(out, "mapping: %d resolutions, %d parses, mitigation %.0f%%\n\n",
 		st.Mapping.Resolutions, st.Mapping.Parses, st.Mapping.MitigationRate()*100)
 
+	printAppReport(out, phone.TCPMeasurements(), phone.AppMedians(1))
+	fmt.Fprintf(out, "\nDNS: %d measurements, median %.1f ms\n",
+		len(phone.DNSMeasurements()), medianMS(phone.DNSMeasurements()))
+}
+
+// printAppReport renders the per-app median view (Figure 1a).
+func printAppReport(out io.Writer, tcp []mopeye.Measurement, meds map[string]float64) {
 	fmt.Fprintln(out, "per-app view (median RTT, like Figure 1a):")
-	meds := phone.AppMedians(1)
 	names := make([]string, 0, len(meds))
 	for n := range meds {
 		names = append(names, n)
@@ -218,19 +393,16 @@ func main() {
 	sort.Slice(names, func(i, j int) bool { return meds[names[i]] < meds[names[j]] })
 	for _, n := range names {
 		count := 0
-		for _, m := range phone.TCPMeasurements() {
+		for _, m := range tcp {
 			if m.App == n {
 				count++
 			}
 		}
 		fmt.Fprintf(out, "  %-36s %6.1f ms  (%d measurements)\n", n, meds[n], count)
 	}
-	fmt.Fprintf(out, "\nDNS: %d measurements, median %.1f ms\n",
-		len(phone.DNSMeasurements()), medianMS(phone))
 }
 
-func medianMS(p *mopeye.Phone) float64 {
-	recs := p.DNSMeasurements()
+func medianMS(recs []mopeye.Measurement) float64 {
 	if len(recs) == 0 {
 		return 0
 	}

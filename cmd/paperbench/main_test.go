@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDataPlaneValidate(t *testing.T) {
+	ok := []dataPlane{
+		{tun: "sim"},
+		{tun: "real"},
+		{tun: "real", tunName: "pbench0"},
+		{tun: "real", upstream: "direct"},
+		{tun: "real", upstream: "socks5://user:pw@127.0.0.1:1080"},
+	}
+	for _, d := range ok {
+		if err := d.validate(); err != nil {
+			t.Errorf("validate(%+v) = %v, want nil", d, err)
+		}
+	}
+}
+
+func TestDataPlaneValidateRejects(t *testing.T) {
+	cases := []struct {
+		d    dataPlane
+		want string
+	}{
+		{dataPlane{tun: "bogus"}, "-tun"},
+		{dataPlane{tun: ""}, "-tun"},
+		{dataPlane{tun: "sim", tunName: "x0"}, "-tun-name needs -tun real"},
+		{dataPlane{tun: "sim", upstream: "direct"}, "-upstream needs -tun real"},
+		{dataPlane{tun: "real", upstream: "http://1.2.3.4:8080"}, "unsupported scheme"},
+		{dataPlane{tun: "real", upstream: "socks5://hostonly"}, "host:port"},
+	}
+	for _, c := range cases {
+		err := c.d.validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("validate(%+v) = %v, want containing %q", c.d, err, c.want)
+		}
+	}
+}

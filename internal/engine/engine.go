@@ -29,7 +29,7 @@ import (
 type Engine struct {
 	cfg    Config
 	clk    clock.Clock
-	dev    *tun.Device
+	dev    tun.Interface
 	prov   *sockets.Provider
 	store  *measure.Store
 	meter  *resource.Meter
@@ -73,8 +73,10 @@ type Engine struct {
 
 // Deps bundles the engine's substrate handles.
 type Deps struct {
-	Clock    clock.Clock
-	Device   *tun.Device
+	Clock clock.Clock
+	// Device is any TUN backend: the emulated *tun.Device (default test
+	// substrate) or a real Linux device via lintun (build tag realtun).
+	Device   tun.Interface
 	Sockets  *sockets.Provider
 	ProcNet  *procnet.Reader
 	Packages *procnet.PackageManager

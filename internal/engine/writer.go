@@ -16,7 +16,7 @@ import (
 // encodeBufPool recycles encode buffers on the emit path.
 var encodeBufPool = sync.Pool{
 	New: func() interface{} {
-		b := make([]byte, 0, tun.MTU)
+		b := make([]byte, 0, tun.DefaultMTU)
 		return &b
 	},
 }

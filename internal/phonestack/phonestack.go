@@ -76,6 +76,10 @@ type Phone struct {
 	udpSent atomic.Int64
 }
 
+// advMSS derives the MSS the phone advertises from the device MTU
+// (40 bytes of IP + TCP headers).
+func (p *Phone) advMSS() int { return p.dev.MTU() - 40 }
+
 // New creates a phone stack bound to addr and starts its demultiplexer,
 // which consumes packets the engine writes back into the TUN.
 func New(clk clock.Clock, dev *tun.Device, addr netip.Addr, table *procnet.Table, seed int64) *Phone {
@@ -240,7 +244,7 @@ func (p *Phone) Connect(uid int, dst netip.AddrPort, timeout time.Duration) (*Co
 		local:  netip.AddrPortFrom(p.addr, port),
 		remote: dst,
 		state:  stateSynSent,
-		mss:    tun.MTU - 40, // until the SYN-ACK negotiates it
+		mss:    p.advMSS(), // until the SYN-ACK negotiates it
 		window: DefaultWindow,
 	}
 	c.cond = sync.NewCond(&c.mu)
@@ -257,7 +261,7 @@ func (p *Phone) Connect(uid int, dst netip.AddrPort, timeout time.Duration) (*Co
 
 	start := p.clk.Nanos()
 	syn := packet.TCPPacket(c.local, dst, packet.FlagSYN, c.sndNxt, 0,
-		DefaultWindow, packet.MSSOption(uint16(tun.MTU-40)), nil)
+		DefaultWindow, packet.MSSOption(uint16(p.advMSS())), nil)
 	c.sndNxt++ // SYN consumes one sequence number
 	if err := p.inject(syn); err != nil {
 		c.unregister()
@@ -281,7 +285,7 @@ func (p *Phone) Connect(uid int, dst netip.AddrPort, timeout time.Duration) (*Co
 				return
 			}
 			_ = p.inject(packet.TCPPacket(c.local, dst, packet.FlagSYN,
-				c.sndNxt-1, 0, DefaultWindow, packet.MSSOption(uint16(tun.MTU-40)), nil))
+				c.sndNxt-1, 0, DefaultWindow, packet.MSSOption(uint16(p.advMSS())), nil))
 			rto *= 2
 		}
 		c.mu.Lock()

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -262,12 +264,43 @@ func AndroidParseCost() CostModel {
 // ZeroParseCost is free, for deterministic tests.
 func ZeroParseCost() CostModel { return CostModel{} }
 
+// Source supplies the raw text of one proc net table. *Table is the
+// emulated kernel table; ProcFS reads a live proc mount on the real
+// device data plane.
+type Source interface {
+	Render(p Proto) string
+}
+
+// ProcFS renders the live kernel tables from a proc mount. An
+// unreadable file renders as an empty table (header only): the mapper
+// treats a socket it cannot find as unattributable, which is the right
+// degradation when a table is briefly unavailable.
+type ProcFS struct {
+	// Root is the proc mount point; empty means "/proc".
+	Root string
+}
+
+// Render reads /proc/net/<proto>.
+func (f ProcFS) Render(p Proto) string {
+	root := f.Root
+	if root == "" {
+		root = "/proc"
+	}
+	b, err := os.ReadFile(filepath.Join(root, "net", p.String()))
+	if err != nil {
+		return emptyTableHeader
+	}
+	return string(b)
+}
+
+const emptyTableHeader = "  sl  local_address rem_address   st tx_queue rx_queue tr tm->when retrnsmt   uid  timeout inode\n"
+
 // Reader is the engine-side view: it renders, charges the parse cost,
 // and parses. One Reader per engine.
 type Reader struct {
-	table *Table
-	clk   clock.Clock
-	cost  CostModel
+	src  Source
+	clk  clock.Clock
+	cost CostModel
 
 	mu     sync.Mutex
 	rng    *rand.Rand
@@ -278,13 +311,20 @@ type Reader struct {
 
 // NewReader creates a reader over a table.
 func NewReader(t *Table, clk clock.Clock, cost CostModel, seed int64) *Reader {
-	return &Reader{table: t, clk: clk, cost: cost, rng: rand.New(rand.NewSource(seed))}
+	return NewReaderFrom(t, clk, cost, seed)
+}
+
+// NewReaderFrom creates a reader over any table source — the seam the
+// real data plane uses to parse the live /proc/net tables instead of
+// the emulated kernel's.
+func NewReaderFrom(src Source, clk clock.Clock, cost CostModel, seed int64) *Reader {
+	return &Reader{src: src, clk: clk, cost: cost, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Parse reads one proc file, charging the modelled cost in simulated
 // time.
 func (r *Reader) Parse(p Proto) ([]Entry, error) {
-	text := r.table.Render(p)
+	text := r.src.Render(p)
 	entries, err := ParseFile(text, p)
 	if err != nil {
 		return nil, err
@@ -355,8 +395,9 @@ func (r *Reader) Stats() (parses int, spent time.Duration, samples []time.Durati
 // PackageManager maps UIDs to app package names, the role Android's
 // PackageManager plays for MopEye (§2.2).
 type PackageManager struct {
-	mu   sync.Mutex
-	apps map[int]string
+	mu       sync.Mutex
+	apps     map[int]string
+	fallback func(uid int) (string, bool)
 }
 
 // NewPackageManager creates an empty registry.
@@ -371,11 +412,25 @@ func (pm *PackageManager) Install(uid int, name string) {
 	pm.mu.Unlock()
 }
 
+// SetFallback installs a resolver consulted for UIDs with no installed
+// package. The real data plane uses it to name host UIDs (user
+// accounts) the way Android's PackageManager names app UIDs; f must be
+// safe for concurrent use.
+func (pm *PackageManager) SetFallback(f func(uid int) (string, bool)) {
+	pm.mu.Lock()
+	pm.fallback = f
+	pm.mu.Unlock()
+}
+
 // NameForUID resolves a UID; ok is false for unknown UIDs.
 func (pm *PackageManager) NameForUID(uid int) (string, bool) {
 	pm.mu.Lock()
-	defer pm.mu.Unlock()
 	n, ok := pm.apps[uid]
+	f := pm.fallback
+	pm.mu.Unlock()
+	if !ok && f != nil {
+		return f(uid)
+	}
 	return n, ok
 }
 

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/netsim"
+	"repro/internal/upstream"
 )
 
 // Errors.
@@ -107,17 +108,63 @@ func drawCost(f func(*rand.Rand) time.Duration, rng *rand.Rand, mu *sync.Mutex) 
 // Provider creates channels bound to one phone. It owns the ephemeral
 // port space and the VPN-exemption state.
 type Provider struct {
+	// Net is the emulated substrate. It may be nil on the real data
+	// plane, where a Dialer and UDP transport stand in for it.
 	Net   *netsim.Network
 	Clk   clock.Clock
 	Costs CostModel
 
 	phoneAddr netip.Addr
 
+	// dialer, when set, is where external TCP connections exit:
+	// upstream.Direct on the real data plane, upstream.SOCKS5 for a
+	// proxied exit. nil keeps today's semantics — dial inside Net.
+	dialer upstream.Dialer
+
+	// sendUDP, when set, transmits relay datagrams instead of
+	// Net.SendUDP (the real data plane's UDP exit).
+	sendUDP UDPTransport
+
 	mu         sync.Mutex
 	rng        *rand.Rand
 	nextPort   uint16
 	disallowed bool // addDisallowedApplication(mopeye) has been called
 	protects   int  // number of per-socket protect() calls made
+}
+
+// UDPTransport transmits one relay datagram and arranges for any
+// response to be handed to deliver (possibly from another goroutine).
+type UDPTransport func(local, dst netip.AddrPort, payload []byte, deliver func([]byte))
+
+// SetDialer installs the upstream exit for external TCP connections.
+// Call before traffic flows; nil restores the default netsim dial.
+func (p *Provider) SetDialer(d upstream.Dialer) {
+	p.mu.Lock()
+	p.dialer = d
+	p.mu.Unlock()
+}
+
+// SetUDPTransport installs the upstream exit for relay datagrams. Call
+// before traffic flows; nil restores the default netsim send.
+func (p *Provider) SetUDPTransport(t UDPTransport) {
+	p.mu.Lock()
+	p.sendUDP = t
+	p.mu.Unlock()
+}
+
+// dial opens the external connection for a channel through whichever
+// exit is installed.
+func (p *Provider) dial(local, dst netip.AddrPort) (upstream.Conn, error) {
+	p.mu.Lock()
+	d := p.dialer
+	p.mu.Unlock()
+	if d != nil {
+		return d.Dial(local, dst)
+	}
+	if p.Net == nil {
+		return nil, errors.New("sockets: no network and no dialer installed")
+	}
+	return upstream.Netsim{Net: p.Net}.Dial(local, dst)
 }
 
 // NewProvider creates a socket provider for a phone at addr.
@@ -178,7 +225,7 @@ type Channel struct {
 	mu         sync.Mutex
 	local      netip.AddrPort
 	remote     netip.AddrPort
-	conn       *netsim.Conn
+	conn       upstream.Conn
 	connErr    error
 	connecting bool
 	connected  bool
@@ -244,7 +291,7 @@ func (ch *Channel) Connect(dst netip.AddrPort) error {
 	local := ch.local
 	ch.mu.Unlock()
 
-	conn, err := ch.p.Net.Dial(local, dst)
+	conn, err := ch.p.dial(local, dst)
 
 	ch.mu.Lock()
 	defer ch.mu.Unlock()
@@ -287,7 +334,7 @@ func (ch *Channel) ConnectNonBlocking(dst netip.AddrPort) error {
 	ch.mu.Unlock()
 
 	go func() {
-		conn, err := ch.p.Net.Dial(local, dst)
+		conn, err := ch.p.dial(local, dst)
 		ch.mu.Lock()
 		ch.connecting = false
 		if ch.closed {
@@ -350,10 +397,10 @@ func (ch *Channel) Read(buf []byte) (int, error) {
 		return 0, ErrNotConnected
 	}
 	n, err := conn.TryRead(buf)
-	if errors.Is(err, netsim.ErrWouldBlock) {
+	if errors.Is(err, upstream.ErrWouldBlock) || errors.Is(err, netsim.ErrWouldBlock) {
 		return 0, nil
 	}
-	if errors.Is(err, netsim.ErrEOFConn) {
+	if errors.Is(err, upstream.ErrEOF) || errors.Is(err, netsim.ErrEOFConn) {
 		return n, ErrEOF
 	}
 	return n, err

@@ -49,17 +49,28 @@ func (u *UDPSocket) Protect() {
 	}
 }
 
-// SendTo transmits one datagram. Responses from the network are queued
-// for Recv.
+// SendTo transmits one datagram through whichever UDP exit is
+// installed. Responses from the network are queued for Recv.
 func (u *UDPSocket) SendTo(dst netip.AddrPort, payload []byte) {
-	u.p.Net.SendUDP(u.local, dst, payload, func(resp []byte) {
+	deliver := func(resp []byte) {
 		u.mu.Lock()
 		if !u.closed {
 			u.inbox = append(u.inbox, resp)
 			u.cond.Broadcast()
 		}
 		u.mu.Unlock()
-	})
+	}
+	u.p.mu.Lock()
+	send := u.p.sendUDP
+	u.p.mu.Unlock()
+	if send != nil {
+		send(u.local, dst, payload, deliver)
+		return
+	}
+	if u.p.Net == nil {
+		return // no substrate and no transport: datagram is dropped
+	}
+	u.p.Net.SendUDP(u.local, dst, payload, deliver)
 }
 
 // Recv blocks until a datagram arrives or the timeout elapses.

@@ -24,9 +24,9 @@ import (
 	"repro/internal/clock"
 )
 
-// MTU is the interface MTU. MopEye sends 1500-byte IP packets to apps
-// (§3.4).
-const MTU = 1500
+// DefaultMTU is the MTU a device starts with when the backend has no
+// interface to query. MopEye sends 1500-byte IP packets to apps (§3.4).
+const DefaultMTU = 1500
 
 // Errors.
 var (
@@ -178,6 +178,7 @@ type Device struct {
 
 	mu       sync.Mutex
 	blocking bool
+	mtu      int
 	stats    Stats
 	closed   bool
 
@@ -207,9 +208,30 @@ func New(clk clock.Clock, queueCap int) *Device {
 	}
 	return &Device{
 		clk:      clk,
+		mtu:      DefaultMTU,
 		outbound: newFIFO(queueCap),
 		inbound:  newFIFO(queueCap),
 	}
+}
+
+// MTU reports the device MTU. Writes larger than this fail with
+// ErrTooBig.
+func (d *Device) MTU() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.mtu
+}
+
+// SetMTU overrides the device MTU (DefaultMTU at construction). It
+// emulates configuring the interface before bringing the tunnel up —
+// call it before traffic flows, not mid-run.
+func (d *Device) SetMTU(mtu int) {
+	if mtu <= 0 {
+		return
+	}
+	d.mu.Lock()
+	d.mtu = mtu
+	d.mu.Unlock()
 }
 
 // SetBlocking switches the read mode of the descriptor, the equivalent of
@@ -341,7 +363,7 @@ func AndroidWriteCost() func(*rand.Rand) time.Duration {
 // mInterface's output stream. Writes are serialised and charge the
 // configured write cost, so concurrent writers observe queueing delay.
 func (d *Device) Write(pkt []byte) error {
-	if len(pkt) > MTU {
+	if len(pkt) > d.MTU() {
 		return ErrTooBig
 	}
 	d.writeMu.Lock()
@@ -378,6 +400,7 @@ func (d *Device) WriteBatch(pkts [][]byte) (int, error) {
 	if len(pkts) == 0 {
 		return 0, nil
 	}
+	mtu := d.MTU()
 	d.writeMu.Lock()
 	if cap(d.wbScratch) < len(pkts) {
 		d.wbScratch = make([]queued, len(pkts))
@@ -386,7 +409,7 @@ func (d *Device) WriteBatch(pkts [][]byte) (int, error) {
 	var bytes int64
 	var ferr error
 	for _, pkt := range pkts {
-		if len(pkt) > MTU {
+		if len(pkt) > mtu {
 			if ferr == nil {
 				ferr = ErrTooBig
 			}
@@ -423,7 +446,7 @@ func (d *Device) WriteBatch(pkts [][]byte) (int, error) {
 // trick §3.1 describes (self-sent pre-5.0, DownloadManager-triggered on
 // 5.0+).
 func (d *Device) InjectOutbound(pkt []byte) error {
-	if len(pkt) > MTU {
+	if len(pkt) > d.MTU() {
 		return ErrTooBig
 	}
 	cp := append([]byte(nil), pkt...)

@@ -106,13 +106,39 @@ func TestWriteReadInbound(t *testing.T) {
 func TestMTUEnforced(t *testing.T) {
 	d := newDev()
 	defer d.Close()
-	big := make([]byte, MTU+1)
+	big := make([]byte, DefaultMTU+1)
 	if err := d.Write(big); !errors.Is(err, ErrTooBig) {
 		t.Errorf("write: %v", err)
 	}
 	if err := d.InjectOutbound(big); !errors.Is(err, ErrTooBig) {
 		t.Errorf("inject: %v", err)
 	}
+}
+
+func TestPerDeviceMTU(t *testing.T) {
+	d := newDev()
+	defer d.Close()
+	if got := d.MTU(); got != DefaultMTU {
+		t.Fatalf("MTU = %d, want %d", got, DefaultMTU)
+	}
+	d.SetMTU(9000)
+	if got := d.MTU(); got != 9000 {
+		t.Fatalf("MTU after SetMTU = %d, want 9000", got)
+	}
+	// A packet over the old default but under the new MTU must pass.
+	jumbo := make([]byte, DefaultMTU+1)
+	if err := d.Write(jumbo); err != nil {
+		t.Errorf("write under raised MTU: %v", err)
+	}
+	if err := d.Write(make([]byte, 9001)); !errors.Is(err, ErrTooBig) {
+		t.Errorf("write over raised MTU: %v", err)
+	}
+	d.SetMTU(0) // ignored
+	if got := d.MTU(); got != 9000 {
+		t.Errorf("MTU after SetMTU(0) = %d, want 9000", got)
+	}
+	// The interface seam: both backends satisfy it.
+	var _ Interface = d
 }
 
 func TestQueueOverflowDrops(t *testing.T) {
@@ -318,7 +344,7 @@ func TestWriteBatchDeliversInOrder(t *testing.T) {
 func TestWriteBatchSkipsOversizedDeliversRest(t *testing.T) {
 	d := newDev()
 	defer d.Close()
-	big := make([]byte, MTU+1)
+	big := make([]byte, DefaultMTU+1)
 	n, err := d.WriteBatch([][]byte{{1}, big, {2}})
 	if !errors.Is(err, ErrTooBig) {
 		t.Fatalf("err = %v, want ErrTooBig", err)

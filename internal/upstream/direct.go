@@ -1,0 +1,153 @@
+package upstream
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// defaultDialTimeout bounds Direct dials and whole SOCKS5 handshakes
+// when no Timeout is configured.
+const defaultDialTimeout = 10 * time.Second
+
+// Direct exits flows through real kernel sockets (net.Dialer) — the
+// data plane's counterpart of Netsim, used under -tun real. The local
+// address is ignored: relay sockets are protected from the TUN route by
+// the host routing setup, and the kernel picks the source.
+type Direct struct {
+	// Timeout bounds the TCP connect (defaultDialTimeout when zero).
+	Timeout time.Duration
+}
+
+// Dial implements Dialer.
+func (d Direct) Dial(_, dst netip.AddrPort) (Conn, error) {
+	to := d.Timeout
+	if to <= 0 {
+		to = defaultDialTimeout
+	}
+	nd := net.Dialer{Timeout: to}
+	c, err := nd.Dial("tcp", dst.String())
+	if err != nil {
+		nerr := &net.OpError{}
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			return nil, &Error{Op: "dial", Err: ErrTimeout}
+		}
+		return nil, &Error{Op: "dial", Err: err}
+	}
+	return WrapNetConn(c), nil
+}
+
+// netConn adapts a real net.Conn to the non-blocking Conn surface the
+// relay's selector machinery needs: a pump goroutine parks in the
+// kernel read and feeds an in-process receive buffer, firing the
+// readiness callback exactly the way the emulated netsim mailbox does
+// (including fire-on-attach when data is already pending).
+type netConn struct {
+	c net.Conn
+
+	mu         sync.Mutex
+	buf        []byte
+	eof        bool
+	rerr       error
+	onReadable func()
+}
+
+// WrapNetConn adapts an established real socket to the Conn interface.
+// Used by Direct and by the SOCKS5 dialer once its handshake hands the
+// stream over to the relay.
+func WrapNetConn(c net.Conn) Conn {
+	nc := &netConn{c: c}
+	go nc.pump()
+	return nc
+}
+
+// pump moves bytes from the kernel into the receive buffer. One parked
+// goroutine per external connection — the real-socket analogue of the
+// netsim scheduler's delivery into a mailbox.
+func (nc *netConn) pump() {
+	chunk := make([]byte, 32*1024)
+	for {
+		n, err := nc.c.Read(chunk)
+		nc.mu.Lock()
+		if n > 0 {
+			nc.buf = append(nc.buf, chunk[:n]...)
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				nc.eof = true
+			} else {
+				nc.rerr = err
+			}
+		}
+		cb := nc.onReadable
+		fire := cb != nil && (len(nc.buf) > 0 || nc.eof || nc.rerr != nil)
+		nc.mu.Unlock()
+		if fire {
+			cb()
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// TryRead implements Conn.
+func (nc *netConn) TryRead(buf []byte) (int, error) {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	if len(nc.buf) > 0 {
+		n := copy(buf, nc.buf)
+		nc.buf = nc.buf[n:]
+		if len(nc.buf) == 0 {
+			nc.buf = nil // release the drained backing array
+		}
+		return n, nil
+	}
+	if nc.eof {
+		return 0, ErrEOF
+	}
+	if nc.rerr != nil {
+		return 0, nc.rerr
+	}
+	return 0, ErrWouldBlock
+}
+
+// Write implements Conn.
+func (nc *netConn) Write(b []byte) (int, error) { return nc.c.Write(b) }
+
+// CloseWrite implements Conn, sending a real FIN when the socket
+// supports half-close.
+func (nc *netConn) CloseWrite() error {
+	type closeWriter interface{ CloseWrite() error }
+	if cw, ok := nc.c.(closeWriter); ok {
+		return cw.CloseWrite()
+	}
+	return nil
+}
+
+// Close implements Conn. The pump unblocks with an error and exits.
+func (nc *netConn) Close() error { return nc.c.Close() }
+
+// Reset implements Conn: SO_LINGER(0) turns the close into an RST,
+// mirroring the abort the app-side RST relaying expects.
+func (nc *netConn) Reset() error {
+	if tc, ok := nc.c.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	return nc.c.Close()
+}
+
+// SetOnReadable implements Conn with netsim mailbox semantics: replace
+// the callback and fire immediately if already readable.
+func (nc *netConn) SetOnReadable(fn func()) {
+	nc.mu.Lock()
+	nc.onReadable = fn
+	fire := fn != nil && (len(nc.buf) > 0 || nc.eof || nc.rerr != nil)
+	nc.mu.Unlock()
+	if fire {
+		fn()
+	}
+}

@@ -1,0 +1,44 @@
+package upstream
+
+import (
+	"errors"
+	"net/netip"
+
+	"repro/internal/netsim"
+)
+
+// Netsim dials inside the emulated network — the default substrate's
+// semantics, now behind the Dialer seam. It also serves as the Forward
+// transport when a SOCKS5 proxy runs inside netsim, which is how the
+// proxy path gets full e2e coverage without root or network access.
+type Netsim struct {
+	Net *netsim.Network
+}
+
+// Dial implements Dialer.
+func (d Netsim) Dial(local, dst netip.AddrPort) (Conn, error) {
+	c, err := d.Net.Dial(local, dst)
+	if err != nil {
+		return nil, err
+	}
+	return NetsimConn{c}, nil
+}
+
+// NetsimConn adapts *netsim.Conn to the Conn interface, mapping the
+// netsim sentinels onto the upstream set. Everything except TryRead
+// promotes from the embedded conn.
+type NetsimConn struct {
+	*netsim.Conn
+}
+
+// TryRead implements Conn.
+func (c NetsimConn) TryRead(buf []byte) (int, error) {
+	n, err := c.Conn.TryRead(buf)
+	switch {
+	case errors.Is(err, netsim.ErrWouldBlock):
+		return n, ErrWouldBlock
+	case errors.Is(err, netsim.ErrEOFConn):
+		return n, ErrEOF
+	}
+	return n, err
+}

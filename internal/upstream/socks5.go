@@ -1,0 +1,281 @@
+package upstream
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// SOCKS5 protocol constants (RFC 1928 / RFC 1929).
+const (
+	socksVersion     = 0x05
+	authVersion      = 0x01
+	methodNoAuth     = 0x00
+	methodUserPass   = 0x02
+	methodNoneOK     = 0xFF
+	cmdConnect       = 0x01
+	atypIPv4         = 0x01
+	atypIPv6         = 0x04
+	replySucceeded   = 0x00
+	replyNotAllowed  = 0x02
+	replyCmdUnsupp   = 0x07
+	replyAtypUnsupp  = 0x08
+	replyConnRefused = 0x05
+)
+
+// Typed terminal failures.
+var (
+	// ErrAuthFailed reports rejected credentials (RFC 1929 status != 0)
+	// or a proxy that accepts none of our auth methods.
+	ErrAuthFailed = errors.New("upstream: socks5 authentication failed")
+)
+
+// SOCKS5 relays TCP flows through a SOCKS5 proxy via CONNECT,
+// psiphon-style. It composes over Forward — the transport used to
+// reach the proxy — so the same handshake runs against an in-process
+// proxy inside netsim and a real proxy over kernel sockets.
+type SOCKS5 struct {
+	// Proxy is the proxy's address on the Forward substrate.
+	Proxy netip.AddrPort
+	// Username/Password enable RFC 1929 auth when non-empty.
+	Username, Password string
+	// Timeout bounds the whole dial + handshake (defaultDialTimeout
+	// when zero).
+	Timeout time.Duration
+	// Forward reaches the proxy: Netsim in tests, Direct on the real
+	// data plane. Required.
+	Forward Dialer
+	// Clk is the timeout's time source; nil means the wall clock. The
+	// virtual-clock e2e tests inject theirs so a hung proxy times out
+	// in simulated time.
+	Clk clock.Clock
+}
+
+// Dial implements Dialer: dial the proxy over Forward, authenticate,
+// CONNECT to dst, and hand the stream to the relay. Classification:
+// transport failures and timeouts are retryable; bad credentials and
+// proxy policy/protocol refusals are terminal.
+func (s *SOCKS5) Dial(local, dst netip.AddrPort) (Conn, error) {
+	if s.Forward == nil {
+		return nil, &Error{Op: "dial", IsTerminal: true, Err: errors.New("socks5: no forward dialer")}
+	}
+	c, err := s.Forward.Dial(local, s.Proxy)
+	if err != nil {
+		var ue *Error
+		if errors.As(err, &ue) {
+			return nil, err
+		}
+		return nil, &Error{Op: "dial", Err: err}
+	}
+	if err := s.handshake(c, dst); err != nil {
+		_ = c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (s *SOCKS5) handshake(c Conn, dst netip.AddrPort) error {
+	clk := s.Clk
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	to := s.Timeout
+	if to <= 0 {
+		to = defaultDialTimeout
+	}
+	hr := newHandshakeReader(c, clk.After(to))
+	defer hr.detach()
+
+	// Greeting: offer user/pass only when credentials are configured.
+	methods := []byte{methodNoAuth}
+	if s.Username != "" {
+		methods = []byte{methodNoAuth, methodUserPass}
+	}
+	if err := writeAll(c, append([]byte{socksVersion, byte(len(methods))}, methods...)); err != nil {
+		return &Error{Op: "greeting", Err: err}
+	}
+	var sel [2]byte
+	if err := hr.readFull("greeting", sel[:]); err != nil {
+		return err
+	}
+	if sel[0] != socksVersion {
+		return &Error{Op: "greeting", IsTerminal: true, Err: fmt.Errorf("socks5: bad version %#x", sel[0])}
+	}
+
+	switch sel[1] {
+	case methodNoAuth:
+	case methodUserPass:
+		if s.Username == "" {
+			return &Error{Op: "auth", IsTerminal: true, Err: ErrAuthFailed}
+		}
+		req := []byte{authVersion, byte(len(s.Username))}
+		req = append(req, s.Username...)
+		req = append(req, byte(len(s.Password)))
+		req = append(req, s.Password...)
+		if err := writeAll(c, req); err != nil {
+			return &Error{Op: "auth", Err: err}
+		}
+		var st [2]byte
+		if err := hr.readFull("auth", st[:]); err != nil {
+			return err
+		}
+		if st[1] != 0 {
+			return &Error{Op: "auth", IsTerminal: true, Err: ErrAuthFailed}
+		}
+	default: // 0xFF or anything unknown
+		return &Error{Op: "auth", IsTerminal: true, Err: ErrAuthFailed}
+	}
+
+	// CONNECT dst.
+	req := []byte{socksVersion, cmdConnect, 0x00}
+	addr := dst.Addr().Unmap()
+	if addr.Is4() {
+		b := addr.As4()
+		req = append(req, atypIPv4)
+		req = append(req, b[:]...)
+	} else {
+		b := addr.As16()
+		req = append(req, atypIPv6)
+		req = append(req, b[:]...)
+	}
+	req = append(req, byte(dst.Port()>>8), byte(dst.Port()))
+	if err := writeAll(c, req); err != nil {
+		return &Error{Op: "connect", Err: err}
+	}
+
+	var hdr [4]byte
+	if err := hr.readFull("connect", hdr[:]); err != nil {
+		return err
+	}
+	if hdr[0] != socksVersion {
+		return &Error{Op: "connect", IsTerminal: true, Err: fmt.Errorf("socks5: bad reply version %#x", hdr[0])}
+	}
+	if hdr[1] != replySucceeded {
+		return &Error{
+			Op:         "connect",
+			ReplyCode:  hdr[1],
+			IsTerminal: terminalReply(hdr[1]),
+			Err:        fmt.Errorf("socks5: connect refused: %s", replyString(hdr[1])),
+		}
+	}
+	// Drain the bound address so relay payload starts at a clean
+	// boundary.
+	var alen int
+	switch hdr[3] {
+	case atypIPv4:
+		alen = 4
+	case atypIPv6:
+		alen = 16
+	case 0x03: // domain
+		var l [1]byte
+		if err := hr.readFull("connect", l[:]); err != nil {
+			return err
+		}
+		alen = int(l[0])
+	default:
+		return &Error{Op: "connect", IsTerminal: true, Err: fmt.Errorf("socks5: bad bound atyp %#x", hdr[3])}
+	}
+	bound := make([]byte, alen+2)
+	return hr.readFull("connect", bound)
+}
+
+// terminalReply classifies SOCKS5 reply codes: policy and protocol
+// refusals are terminal, transient network failures are retryable.
+func terminalReply(code byte) bool {
+	switch code {
+	case replyNotAllowed, replyCmdUnsupp, replyAtypUnsupp:
+		return true
+	}
+	return false
+}
+
+func replyString(code byte) string {
+	switch code {
+	case 0x01:
+		return "general failure"
+	case replyNotAllowed:
+		return "connection not allowed by ruleset"
+	case 0x03:
+		return "network unreachable"
+	case 0x04:
+		return "host unreachable"
+	case replyConnRefused:
+		return "connection refused"
+	case 0x06:
+		return "TTL expired"
+	case replyCmdUnsupp:
+		return "command not supported"
+	case replyAtypUnsupp:
+		return "address type not supported"
+	}
+	return fmt.Sprintf("reply code %#x", code)
+}
+
+// handshakeReader turns the Conn's non-blocking TryRead + readiness
+// callback into the blocking reads a handshake needs, bounded by one
+// deadline across the whole exchange.
+type handshakeReader struct {
+	c        Conn
+	ready    chan struct{}
+	deadline <-chan time.Time
+}
+
+func newHandshakeReader(c Conn, deadline <-chan time.Time) *handshakeReader {
+	hr := &handshakeReader{c: c, ready: make(chan struct{}, 1), deadline: deadline}
+	c.SetOnReadable(func() {
+		select {
+		case hr.ready <- struct{}{}:
+		default:
+		}
+	})
+	return hr
+}
+
+// detach uninstalls the readiness callback; the relay installs its own
+// once the channel registers with a selector.
+func (hr *handshakeReader) detach() { hr.c.SetOnReadable(nil) }
+
+func (hr *handshakeReader) readFull(op string, buf []byte) error {
+	got := 0
+	for got < len(buf) {
+		n, err := hr.c.TryRead(buf[got:])
+		got += n
+		switch {
+		case err == nil:
+			if n == 0 && got < len(buf) {
+				// Defensive: treat a progress-free clean read as
+				// not-ready.
+				err = ErrWouldBlock
+			} else {
+				continue
+			}
+			fallthrough
+		case errors.Is(err, ErrWouldBlock):
+			select {
+			case <-hr.ready:
+			case <-hr.deadline:
+				return &Error{Op: op, Err: ErrTimeout}
+			}
+		case errors.Is(err, ErrEOF):
+			return &Error{Op: op, Err: errors.New("socks5: proxy closed mid-handshake")}
+		default:
+			return &Error{Op: op, Err: err}
+		}
+	}
+	return nil
+}
+
+// writeAll pushes the whole buffer through Conn.Write.
+func writeAll(c Conn, b []byte) error {
+	for len(b) > 0 {
+		n, err := c.Write(b)
+		if err != nil {
+			return err
+		}
+		b = b[n:]
+	}
+	return nil
+}

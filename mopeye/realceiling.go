@@ -1,0 +1,169 @@
+package mopeye
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RealCeilingOptions configures the real-TUN ceiling benchmark: a
+// kernel-UDP flood routed into a live TUN device, with the engine on
+// the other end reading, parsing, and dispatching every datagram. The
+// UDP exit is replaced by a count-and-drop transport so the bench
+// measures the device-read pipeline, not loopback re-injection.
+//
+// Requires `-tags realtun`, root (or CAP_NET_ADMIN), and /dev/net/tun.
+type RealCeilingOptions struct {
+	// TunName names the device to create (empty lets the kernel pick).
+	TunName string
+	// Upstream is the TCP exit spec ("", "direct" or socks5://...).
+	// The UDP flood never touches it, but wiring it keeps the bench's
+	// engine configured exactly like a real deployment's.
+	Upstream string
+	// Workers, ReadBatch, ReadBatchAuto tune the engine pipeline.
+	Workers       int
+	ReadBatch     int
+	ReadBatchAuto bool
+	// Duration bounds the flood (default 3s).
+	Duration time.Duration
+	// PayloadBytes is the datagram size (default 512).
+	PayloadBytes int
+	// Senders is the number of concurrent flood goroutines (default 2).
+	Senders int
+	// FloodAddr is the destination the flood targets; it must route
+	// into the TUN device once Setup has run. Default 198.51.100.9:9
+	// (TEST-NET-2 discard, clear of the netsim TEST-NET-1 range).
+	FloodAddr netip.AddrPort
+	// Setup brings the freshly opened device up and routes FloodAddr
+	// into it (ip link/addr); it runs after the TUN is open and before
+	// the flood starts. The bench itself never execs anything.
+	Setup func(devName string) error
+}
+
+// RealCeilingResult is one real-TUN ceiling run.
+type RealCeilingResult struct {
+	Device     string
+	Elapsed    time.Duration
+	Sent       int64 // datagrams the flood wrote into the kernel
+	SendErrors int64
+	TunPackets int   // packets the engine read off the device
+	TunBytes   int64 // bytes the engine read off the device
+	Relayed    int64 // datagrams that reached the (counting) UDP exit
+	Dropped    int   // datagrams the relay shed under flood
+}
+
+// ReadPerSec is the device-read throughput in packets/sec.
+func (r RealCeilingResult) ReadPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.TunPackets) / r.Elapsed.Seconds()
+}
+
+// RelayPerSec is the end-to-end relay-dispatch throughput.
+func (r RealCeilingResult) RelayPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Relayed) / r.Elapsed.Seconds()
+}
+
+// String renders the run in paperbench's report style.
+func (r RealCeilingResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "real-TUN ceiling on %s over %v\n", r.Device, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  flood sent      %9d datagrams (%d send errors)\n", r.Sent, r.SendErrors)
+	fmt.Fprintf(&b, "  device reads    %9d pkts  %8.1f kpkt/s  %6.1f MB/s\n",
+		r.TunPackets, r.ReadPerSec()/1e3,
+		float64(r.TunBytes)/r.Elapsed.Seconds()/1e6)
+	fmt.Fprintf(&b, "  relay dispatch  %9d pkts  %8.1f kpkt/s  (%d shed under flood)\n",
+		r.Relayed, r.RelayPerSec()/1e3, r.Dropped)
+	return b.String()
+}
+
+// RunRealCeiling opens a real TUN device, routes a flood into it via
+// o.Setup, and measures how fast the engine drains it. Companion to
+// RunDispatchBench, which measures the same pipeline over the
+// zero-delay emulated device.
+func RunRealCeiling(o RealCeilingOptions) (RealCeilingResult, error) {
+	if o.Duration <= 0 {
+		o.Duration = 3 * time.Second
+	}
+	if o.PayloadBytes <= 0 {
+		o.PayloadBytes = 512
+	}
+	if o.Senders <= 0 {
+		o.Senders = 2
+	}
+	if !o.FloodAddr.IsValid() {
+		o.FloodAddr = netip.AddrPortFrom(netip.MustParseAddr("198.51.100.9"), 9)
+	}
+
+	var relayed atomic.Int64
+	phone, err := NewReal(RealOptions{
+		TunName:       o.TunName,
+		Upstream:      o.Upstream,
+		Workers:       o.Workers,
+		ReadBatch:     o.ReadBatch,
+		ReadBatchAuto: o.ReadBatchAuto,
+		UDPTransport: func(local, dst netip.AddrPort, payload []byte, deliver func([]byte)) {
+			relayed.Add(1)
+		},
+	})
+	if err != nil {
+		return RealCeilingResult{}, err
+	}
+	defer phone.Close()
+
+	if o.Setup != nil {
+		if err := o.Setup(phone.Device()); err != nil {
+			return RealCeilingResult{}, fmt.Errorf("interface setup: %w", err)
+		}
+	}
+
+	var sent, sendErrs atomic.Int64
+	deadline := time.Now().Add(o.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < o.Senders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("udp", o.FloodAddr.String())
+			if err != nil {
+				sendErrs.Add(1)
+				return
+			}
+			defer conn.Close()
+			payload := make([]byte, o.PayloadBytes)
+			for time.Now().Before(deadline) {
+				if _, err := conn.Write(payload); err != nil {
+					sendErrs.Add(1)
+					continue
+				}
+				sent.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	// Let the engine drain what the flood queued before sampling.
+	time.Sleep(150 * time.Millisecond)
+	elapsed := time.Since(start)
+
+	ts := phone.TunStats()
+	es := phone.EngineStats()
+	return RealCeilingResult{
+		Device:     phone.Device(),
+		Elapsed:    elapsed,
+		Sent:       sent.Load(),
+		SendErrors: sendErrs.Load(),
+		TunPackets: ts.PacketsOut,
+		TunBytes:   ts.BytesOut,
+		Relayed:    relayed.Load(),
+		Dropped:    es.UDPDropped,
+	}, nil
+}
