@@ -8,12 +8,18 @@
 //
 // Endpoints: POST /v1/upload (batch wire encoding), GET /v1/records
 // (JSONL dump; 404 with -retain-records=false), GET /v1/stats
-// (sketched aggregates, O(1) in dataset size), GET /healthz.
+// (sketched aggregates, O(1) in dataset size), GET /healthz, and —
+// with -metrics — GET /metrics (Prometheus text exposition: upload
+// counters, dedup hits, spool segments and bytes, per-shard record
+// skew, sketched per-network RTT summaries; with -shards N>1 the
+// default view is the exact fan-in merge and ?shard=i drills into one
+// collector shard).
 //
 // Usage:
 //
 //	collectord [-addr 127.0.0.1:8477] [-spool DIR] [-token T]
 //	           [-shards N] [-retain-records=BOOL] [-spool-segment-bytes N]
+//	           [-metrics]
 //
 // -shards 1 (the default) runs a single collector; -shards N>1 runs a
 // crowd.ShardedServer — N full collectors, each spooling under
@@ -21,13 +27,20 @@
 // (`mopeye -upload http://127.0.0.1:8477`) or a fleet, then analyse
 // with `crowdstudy -serve http://127.0.0.1:8477` (live) or
 // `crowdstudy -spool DIR` (offline).
+//
+// SIGINT/SIGTERM shut the collector down gracefully: the listener
+// stops accepting, in-flight uploads drain (their commits and spool
+// appends complete), and the spool closes at a batch boundary — a
+// restart replays it intact.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -45,6 +58,7 @@ type config struct {
 	shards            int
 	retainRecords     bool
 	spoolSegmentBytes int64
+	metrics           bool
 }
 
 // parseFlags parses the command line (without running anything), so
@@ -58,6 +72,7 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&c.shards, "shards", 1, "collector shards: 1 = single server, N>1 = sharded ingest with per-shard spools")
 	fs.BoolVar(&c.retainRecords, "retain-records", true, "keep raw records in memory and serve /v1/records (false = sketched aggregates only, bounded memory)")
 	fs.Int64Var(&c.spoolSegmentBytes, "spool-segment-bytes", 0, "spool segment size cap in bytes (0 = 64 MiB default)")
+	fs.BoolVar(&c.metrics, "metrics", false, "serve GET /metrics (Prometheus text exposition; token-exempt like /healthz)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -81,6 +96,7 @@ func (c config) serverOptions() crowd.ServerOptions {
 		Token:             c.token,
 		RetainRecords:     retain,
 		SpoolSegmentBytes: c.spoolSegmentBytes,
+		ExposeMetrics:     c.metrics,
 	}
 }
 
@@ -100,41 +116,67 @@ func newCollector(c config) (collector, error) {
 	return crowd.NewShardedServer(c.serverOptions(), c.shards)
 }
 
+// drainTimeout bounds the graceful-shutdown drain; connections still
+// alive after it are cut (their senders retry with the same
+// idempotency key, so nothing is lost).
+const drainTimeout = 5 * time.Second
+
+// serve runs the collector on ln until ctx is cancelled, then shuts
+// down gracefully: stop accepting, drain in-flight uploads (commits
+// and spool appends complete), close the spool at a batch boundary,
+// and print the final tally to out. Factored out of main so the
+// interrupted-restart path is testable in-process.
+func serve(ctx context.Context, c config, ln net.Listener, out io.Writer) error {
+	srv, err := newCollector(c)
+	if err != nil {
+		return err
+	}
+	if st := srv.Stats(); st.Batches > 0 {
+		log.Printf("replayed spool: %d batches, %d records", st.Batches, st.Records)
+	}
+	log.Printf("collectord listening on http://%s (spool %q, shards %d, retain-records %v, metrics %v)",
+		ln.Addr(), c.spool, c.shards, c.retainRecords, c.metrics)
+
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			// Drain expired: cut the stragglers. Their uploads were not
+			// acknowledged, so the transport's retry redelivers them.
+			hs.Close()
+		}
+		<-serveErr // always http.ErrServerClosed after Shutdown/Close
+	case err := <-serveErr:
+		// Listener failure, not a shutdown: still close the spool
+		// cleanly before reporting.
+		srv.Close()
+		return err
+	}
+
+	closeErr := srv.Close()
+	st := srv.Stats()
+	fmt.Fprintf(out, "collected %d records in %d batches (%d duplicates absorbed, %d auth failures, %d bad requests)\n",
+		st.Records, st.Batches, st.Duplicates, st.AuthFailures, st.BadRequests)
+	return closeErr
+}
+
 func main() {
 	c, err := parseFlags(os.Args[1:])
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := newCollector(c)
+	ln, err := net.Listen("tcp", c.addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if st := srv.Stats(); st.Batches > 0 {
-		log.Printf("replayed spool: %d batches, %d records", st.Batches, st.Records)
-	}
-
-	hs := &http.Server{Addr: c.addr, Handler: srv}
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		hs.Shutdown(ctx)
-	}()
-
-	log.Printf("collectord listening on http://%s (spool %q, shards %d, retain-records %v)",
-		c.addr, c.spool, c.shards, c.retainRecords)
-	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, c, ln, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	<-done
-	if err := srv.Close(); err != nil {
-		log.Printf("spool close: %v", err)
-	}
-	st := srv.Stats()
-	fmt.Printf("collected %d records in %d batches (%d duplicates absorbed, %d auth failures, %d bad requests)\n",
-		st.Records, st.Batches, st.Duplicates, st.AuthFailures, st.BadRequests)
 }

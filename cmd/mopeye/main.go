@@ -20,10 +20,16 @@
 // collector server (cmd/collectord) over HTTP with retry and
 // idempotency-keyed dedup.
 //
+// With -dash the terminal becomes a live per-app dashboard — RTT
+// sparklines, DNS/UDP drop counters, engine gauges — refreshing on the
+// phone's clock, on the simulated and real data planes alike;
+// -dash-addr additionally serves the same frame (and the phone's
+// Prometheus /metrics exposition) over HTTP.
+//
 // Usage:
 //
-//	mopeye [-apps N] [-conns N] [-pages N] [-realistic] [-variant mopeye|toyvpn|haystack] [-workers N] [-readbatch N|auto] [-follow] [-jsonl] [-upload URL [-device D] [-token T]]
-//	mopeye -tun real [-tun-name mopeye0] [-upstream socks5://host:port] [-duration 30s] [-jsonl]
+//	mopeye [-apps N] [-conns N] [-pages N] [-realistic] [-variant mopeye|toyvpn|haystack] [-workers N] [-readbatch N|auto] [-follow] [-jsonl] [-dash [-dash-addr HOST:PORT]] [-upload URL [-device D] [-token T]]
+//	mopeye -tun real [-tun-name mopeye0] [-upstream socks5://host:port] [-duration 30s] [-jsonl] [-dash [-dash-addr HOST:PORT]]
 package main
 
 import (
@@ -57,6 +63,8 @@ type config struct {
 	readAuto  bool
 	follow    bool
 	jsonl     bool
+	dash      bool
+	dashAddr  string
 	upload    string
 	device    string
 	token     string
@@ -83,6 +91,8 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&readbatch, "readbatch", "auto", "multi-worker read burst size: explicit N pins it (1 = batching off), 0 or auto self-tunes (AIMD up to the default ceiling of 64)")
 	fs.BoolVar(&c.follow, "follow", false, "print each measurement live as the engine records it")
 	fs.BoolVar(&c.jsonl, "jsonl", false, "stream measurements to stdout as JSON Lines (report moves to stderr)")
+	fs.BoolVar(&c.dash, "dash", false, "render a live per-app RTT dashboard (sparklines, engine gauges) refreshing on the phone's clock")
+	fs.StringVar(&c.dashAddr, "dash-addr", "", "additionally serve the dashboard over HTTP on this address (GET / text frame, GET /metrics Prometheus exposition); implies -dash")
 	fs.StringVar(&c.upload, "upload", "", "collector server base URL (e.g. http://127.0.0.1:8477): upload measurement batches over HTTP as they accrue")
 	fs.StringVar(&c.device, "device", "cli-phone", "device stamp for uploaded records")
 	fs.StringVar(&c.token, "token", "", "collector bearer token")
@@ -112,6 +122,19 @@ func parseFlags(args []string) (config, error) {
 	case "mopeye", "toyvpn", "haystack":
 	default:
 		return config{}, fmt.Errorf("mopeye: unknown -variant %q (want mopeye, toyvpn or haystack)", c.variant)
+	}
+
+	// -dash-addr implies the dashboard; the dashboard owns the
+	// terminal, so the other live printers are mutually exclusive with
+	// it.
+	if c.dashAddr != "" {
+		c.dash = true
+	}
+	if c.dash && c.follow {
+		return config{}, fmt.Errorf("mopeye: -dash and -follow both own the terminal; pick one")
+	}
+	if c.dash && c.jsonl {
+		return config{}, fmt.Errorf("mopeye: -dash and -jsonl conflict; scrape -dash-addr instead")
 	}
 
 	switch c.tun {
@@ -155,7 +178,9 @@ func main() {
 		}
 		return
 	}
-	runSim(cfg)
+	if err := runSim(cfg, os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // runReal attaches the engine to a kernel TUN device and reports what
@@ -187,6 +212,30 @@ func runReal(cfg config) error {
 		fmt.Fprintln(out, "monitoring until interrupted (ctrl-c)...")
 	}
 
+	// The dashboard works on the real plane unchanged: RealPhone
+	// satisfies DashPhone, so the same subscriber-fed frames render
+	// over kernel-TUN traffic.
+	dashDone := make(chan struct{})
+	close(dashDone)
+	if cfg.dash {
+		d, err := mopeye.NewDash(phone, mopeye.DashOptions{
+			Interval: time.Second,
+			Out:      out,
+			Addr:     cfg.dashAddr,
+		})
+		if err != nil {
+			return err
+		}
+		if d.Addr() != "" {
+			fmt.Fprintf(out, "dash: http://%s (GET / text frame, GET /metrics exposition)\n", d.Addr())
+		}
+		dashDone = make(chan struct{})
+		go func() {
+			defer close(dashDone)
+			_ = d.Run(context.Background())
+		}()
+	}
+
 	// Poll-and-print: the real plane reports live without the simulated
 	// Phone's subscription plumbing.
 	stop := time.After(cfg.duration)
@@ -214,6 +263,14 @@ loop:
 			}
 			seen = len(recs)
 		}
+	}
+
+	if cfg.dash {
+		// Close ends the dashboard's stream; its final frame lands
+		// before the closing report below. The deferred Close is then a
+		// no-op.
+		phone.Close()
+		<-dashDone
 	}
 
 	if cfg.jsonl {
@@ -244,8 +301,9 @@ func upstreamLabel(s string) string {
 }
 
 // runSim is the original mode: a simulated phone, network and
-// workload.
-func runSim(cfg config) {
+// workload. stdout/stderr are injected so the whole run is
+// unit-testable.
+func runSim(cfg config, stdout, stderr io.Writer) error {
 	ecfg := cfg.engineConfig()
 	servers := []mopeye.Server{
 		{Domain: "social.example.com", RTTMillis: 61, Behaviour: mopeye.Chatty},
@@ -263,17 +321,17 @@ func runSim(cfg config) {
 		RealisticCosts: cfg.realistic,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer phone.Close()
 
 	// The human-readable report: stdout normally, stderr when stdout
 	// carries the JSONL measurement stream.
-	var out io.Writer = os.Stdout
+	var out io.Writer = stdout
 	if cfg.jsonl {
-		out = os.Stderr
-		if _, err := phone.Attach(mopeye.NewJSONLSink(os.Stdout)); err != nil {
-			log.Fatal(err)
+		out = stderr
+		if _, err := phone.Attach(mopeye.NewJSONLSink(stdout)); err != nil {
+			return err
 		}
 	}
 
@@ -289,9 +347,32 @@ func runSim(cfg config) {
 			Transport: transport,
 		})
 		if _, err := phone.Attach(collector); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
+	// The live dashboard is an ordinary subscriber; its Run ends when
+	// the phone closes, after the final frame.
+	dashDone := make(chan struct{})
+	close(dashDone)
+	if cfg.dash {
+		d, err := mopeye.NewDash(phone, mopeye.DashOptions{
+			Interval: 500 * time.Millisecond,
+			Out:      out,
+			Addr:     cfg.dashAddr,
+		})
+		if err != nil {
+			return err
+		}
+		if d.Addr() != "" {
+			fmt.Fprintf(out, "dash: http://%s (GET / text frame, GET /metrics exposition)\n", d.Addr())
+		}
+		dashDone = make(chan struct{})
+		go func() {
+			defer close(dashDone)
+			_ = d.Run(context.Background())
+		}()
+	}
+
 	followDone := make(chan struct{})
 	close(followDone)
 	if cfg.follow {
@@ -360,6 +441,7 @@ func runSim(cfg config) {
 	// below keep working on the closed phone.
 	phone.Close()
 	<-followDone
+	<-dashDone
 	if transport != nil {
 		// Close drains the queued batches (the final flush included)
 		// before the stats below are read.
@@ -381,6 +463,7 @@ func runSim(cfg config) {
 	printAppReport(out, phone.TCPMeasurements(), phone.AppMedians(1))
 	fmt.Fprintf(out, "\nDNS: %d measurements, median %.1f ms\n",
 		len(phone.DNSMeasurements()), medianMS(phone.DNSMeasurements()))
+	return nil
 }
 
 // printAppReport renders the per-app median view (Figure 1a).

@@ -55,12 +55,33 @@ func TestParseFlagsRejects(t *testing.T) {
 		{[]string{"-readbatch", "-3"}, "-readbatch"},
 		{[]string{"-readbatch", "lots"}, "-readbatch"},
 		{[]string{"-variant", "vpnservice"}, "-variant"},
+		{[]string{"-dash", "-follow"}, "-dash"},
+		{[]string{"-dash", "-jsonl"}, "-dash"},
+		{[]string{"-dash-addr", "127.0.0.1:0", "-follow"}, "-dash"},
 	}
 	for _, c := range cases {
 		_, err := parseFlags(c.args)
 		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("parseFlags(%v) err = %v, want containing %q", c.args, err, c.want)
 		}
+	}
+}
+
+func TestParseFlagsDashAddrImpliesDash(t *testing.T) {
+	c, err := parseFlags([]string{"-dash-addr", "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.dash || c.dashAddr != "127.0.0.1:0" {
+		t.Fatalf("parsed: %+v", c)
+	}
+	// Plain -dash stands alone too.
+	c, err = parseFlags([]string{"-dash"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.dash || c.dashAddr != "" {
+		t.Fatalf("parsed: %+v", c)
 	}
 }
 

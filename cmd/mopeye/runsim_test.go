@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/crowd"
+)
+
+// syncWriter guards a buffer against the concurrent writers a run
+// fans out (follow printer, dash renderer, main-line report).
+type syncWriter struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+// TestRunSimFollowJSONLUpload drives the full simulated-plane run —
+// live follow printer, JSONL stream on stdout, crowdsourced upload to
+// a real collector server — and checks every surface it writes to.
+func TestRunSimFollowJSONLUpload(t *testing.T) {
+	srv, err := crowd.NewServer(crowd.ServerOptions{})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	cfg, err := parseFlags([]string{
+		"-apps", "2", "-pages", "1", "-conns", "2",
+		"-follow", "-jsonl", "-upload", ts.URL, "-device", "test-phone",
+	})
+	if err != nil {
+		t.Fatalf("parseFlags: %v", err)
+	}
+	var stdout, stderr syncWriter
+	if err := runSim(cfg, &stdout, &stderr); err != nil {
+		t.Fatalf("runSim: %v", err)
+	}
+
+	// stdout carries the JSONL measurement stream.
+	if !strings.Contains(stdout.String(), `"rtt_ns"`) {
+		t.Fatalf("stdout missing JSONL records:\n%s", stdout.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		if !strings.HasPrefix(line, "{") {
+			t.Fatalf("non-JSONL line on stdout: %q", line)
+		}
+	}
+
+	// The human report (and the follow printer) moved to stderr.
+	for _, want := range []string{
+		"running mopeye engine", "per-app view", "com.facebook.katana",
+		"uploaded", "DNS:",
+	} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Fatalf("stderr missing %q:\n%s", want, stderr.String())
+		}
+	}
+
+	// The collector actually received the uploaded records.
+	if got := srv.Stats().Records; got == 0 {
+		t.Fatal("collector received no records")
+	}
+}
+
+// TestRunSimDash exercises the -dash-addr wiring end to end: the run
+// announces the dashboard URL and completes cleanly with the dash
+// subscriber attached.
+func TestRunSimDash(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-apps", "1", "-pages", "1", "-conns", "1",
+		"-dash-addr", "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatalf("parseFlags: %v", err)
+	}
+	var stdout, stderr syncWriter
+	if err := runSim(cfg, &stdout, &stderr); err != nil {
+		t.Fatalf("runSim: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "dash: http://") {
+		t.Fatalf("stdout missing dash URL:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "per-app view") {
+		t.Fatalf("stdout missing report:\n%s", stdout.String())
+	}
+}

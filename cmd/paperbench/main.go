@@ -44,7 +44,7 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|table1|table2|table3|table4|fig5|overhead|parallel|dispatch|fleet|ingest|scenarios|ceiling] [-fast] [-workers 1,2,4] [-readbatch auto,64] [-dispatcher sharded|shared] [-subs 0] [-phones 8] [-devices 100000] [-ingest-shards 4] [-ingest-floor 0] [-ingest-verify] [-profiles a,b] [-workloads web,video] [-cell-ms 2000] [-cell-phones 3] [-tun sim|real] [-tun-name pbench0] [-upstream direct|socks5://host:port] [-cpuprofile f] [-memprofile f]
+//	paperbench [-exp all|table1|table2|table3|table4|fig5|overhead|parallel|dispatch|fleet|ingest|scenarios|ceiling] [-fast] [-workers 1,2,4] [-readbatch auto,64] [-dispatcher sharded|shared] [-subs 0] [-metrics] [-phones 8] [-devices 100000] [-ingest-shards 4] [-ingest-floor 0] [-ingest-verify] [-metrics-addr 127.0.0.1:9137] [-profiles a,b] [-workloads web,video] [-cell-ms 2000] [-cell-phones 3] [-tun sim|real] [-tun-name pbench0] [-upstream direct|socks5://host:port] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
@@ -136,6 +136,8 @@ func main() {
 	readbatch := flag.String("readbatch", "64", "read/write burst sizes swept by -exp parallel/dispatch (comma list; explicit N pins it, 1 = batching off; 0 or auto = AIMD self-tuning)")
 	dispatcher := flag.String("dispatcher", "sharded", "multi-worker topology for -exp parallel/dispatch: sharded (per-worker selectors) or shared (legacy dispatcher ablation)")
 	subs := flag.Int("subs", 0, "live measurement subscribers attached during -exp dispatch (streaming-pipeline overhead)")
+	metricsFlag := flag.Bool("metrics", false, "arm the phone observability registry during -exp dispatch and scrape it through the flood (the instrumentation-cost arm; compare against a run without it)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the collector's /metrics on this address during -exp ingest, scrapeable live mid-load (e.g. 127.0.0.1:9137)")
 	phones := flag.Int("phones", 8, "fleet size for -exp fleet")
 	devices := flag.Int("devices", 100_000, "simulated device count for -exp ingest")
 	ingestShards := flag.Int("ingest-shards", 4, "collector shards for -exp ingest")
@@ -315,6 +317,7 @@ func main() {
 			}
 			o.WorkerCounts = sweep
 			o.Subscribers = *subs
+			o.Metrics = *metricsFlag
 			if *fast {
 				o.EchoesPerConn = 15
 				o.UDPPerConn = 5
@@ -326,8 +329,8 @@ func main() {
 				if err != nil {
 					log.Fatal(err)
 				}
-				fmt.Printf("Engine ceiling — zero-delay loopback flood across worker counts (readbatch=%s, dispatcher=%s, subscribers=%d):\n",
-					rb.label(), *dispatcher, *subs)
+				fmt.Printf("Engine ceiling — zero-delay loopback flood across worker counts (readbatch=%s, dispatcher=%s, subscribers=%d, metrics=%v):\n",
+					rb.label(), *dispatcher, *subs, *metricsFlag)
 				fmt.Println(res)
 			}
 		case "fleet":
@@ -348,6 +351,7 @@ func main() {
 			o.Devices = *devices
 			o.ServerShards = *ingestShards
 			o.VerifyExact = *ingestVerify
+			o.MetricsAddr = *metricsAddr
 			if *fast {
 				o.Devices = min(o.Devices, 10_000)
 			}

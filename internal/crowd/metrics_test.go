@@ -1,0 +1,230 @@
+package crowd
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestServerMetricsExposition drives uploads (including a duplicate)
+// through a spooled server and checks the scraped exposition carries
+// the ISSUE's required live facts: upload counters, dedup hits, spool
+// footprint, per-shard skew, retain mode, and sketched RTT summaries.
+func TestServerMetricsExposition(t *testing.T) {
+	s, err := NewServer(ServerOptions{SpoolDir: t.TempDir(), ExposeMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	b1 := srvBatch("p1", "p1/k/1", 1, srvRec("", "com.app", 10), srvRec("", "com.app", 20))
+	b2 := srvBatch("p2", "p2/k/1", 1, srvRec("", "com.other", 30))
+	if resp := postBatch(t, ts, "", b1, "p1"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload b1: %s", resp.Status)
+	}
+	if resp := postBatch(t, ts, "", b2, "p2"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload b2: %s", resp.Status)
+	}
+	if resp := postBatch(t, ts, "", b1, "p1"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("redeliver b1: %s", resp.Status)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	expo := string(raw)
+
+	for line, why := range map[string]string{
+		"mopeye_collector_uploads_total 2":    "two accepted batches",
+		"mopeye_collector_records_total 3":    "three records",
+		"mopeye_collector_dedup_hits_total 1": "one absorbed redelivery",
+		"mopeye_collector_dedup_keys 2":       "two idempotency keys",
+		"mopeye_collector_retain_records 1":   "retention defaults on",
+		"mopeye_collector_spool_segments 1":   "one spool segment",
+	} {
+		if !strings.Contains(expo, line+"\n") {
+			t.Errorf("missing %q (%s) in:\n%s", line, why, expo)
+		}
+	}
+	if !strings.Contains(expo, `mopeye_collector_rtt_ms{net="TCP/`) {
+		t.Errorf("no per-net RTT summary in:\n%s", expo)
+	}
+	if !strings.Contains(expo, "mopeye_collector_spool_bytes ") ||
+		strings.Contains(expo, "mopeye_collector_spool_bytes 0\n") {
+		t.Errorf("spool_bytes missing or zero with a live spool:\n%s", expo)
+	}
+
+	// Per-shard skew: the shard_records samples sum to records_total.
+	snap := s.Metrics()
+	sum := 0.0
+	for _, f := range snap {
+		if f.Name != "mopeye_collector_shard_records" {
+			continue
+		}
+		if len(f.Samples) != DefaultIngestShards {
+			t.Errorf("shard_records has %d samples, want %d", len(f.Samples), DefaultIngestShards)
+		}
+		for _, sm := range f.Samples {
+			sum += sm.Value
+		}
+	}
+	if sum != 3 {
+		t.Errorf("shard_records sum = %v, want 3", sum)
+	}
+}
+
+// TestShardedMetricsEquivalence is the sharded-vs-unsharded
+// merged-view property end to end: the same uploads through one
+// Server and through a 4-shard ShardedServer must render
+// byte-identical /metrics (after the non-additive retain flag is
+// re-stamped).
+func TestShardedMetricsEquivalence(t *testing.T) {
+	one, err := NewServer(ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewShardedServer(ServerOptions{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsOne := httptest.NewServer(one)
+	defer tsOne.Close()
+	tsSharded := httptest.NewServer(sharded)
+	defer tsSharded.Close()
+
+	for d := 0; d < 40; d++ {
+		dev := fmt.Sprintf("phone-%02d", d)
+		b := srvBatch(dev, dev+"/k/1", 1,
+			srvRec("", fmt.Sprintf("com.app%d", d%5), float64(10+d)),
+			srvRec("", "com.common", float64(5+d%7)))
+		if resp := postBatch(t, tsOne, "", b, dev); resp.StatusCode != http.StatusOK {
+			t.Fatalf("unsharded upload %s: %s", dev, resp.Status)
+		}
+		if resp := postBatch(t, tsSharded, "", b, dev); resp.StatusCode != http.StatusOK {
+			t.Fatalf("sharded upload %s: %s", dev, resp.Status)
+		}
+		if d%3 == 0 { // sprinkle duplicates on both sides
+			postBatch(t, tsOne, "", b, dev)
+			postBatch(t, tsSharded, "", b, dev)
+		}
+	}
+
+	var ob, sb strings.Builder
+	if err := one.WriteMetrics(&ob); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if ob.String() != sb.String() {
+		t.Fatalf("sharded merged view differs from unsharded:\n--- unsharded ---\n%s--- sharded ---\n%s", ob.String(), sb.String())
+	}
+
+	// The per-shard drill-down serves one shard's own registry, whose
+	// totals are a strict subset of the merged view's.
+	h := sharded.MetricsHandler()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics?shard=1", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("?shard=1: %d", rr.Code)
+	}
+	shardExpo := rr.Body.String()
+	if !strings.Contains(shardExpo, "mopeye_collector_records_total ") {
+		t.Fatalf("per-shard view missing records_total:\n%s", shardExpo)
+	}
+	if shardExpo == sb.String() {
+		t.Error("per-shard view unexpectedly identical to the merged view")
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics?shard=99", nil))
+	if rr.Code != http.StatusBadRequest {
+		t.Errorf("?shard=99: %d, want 400", rr.Code)
+	}
+}
+
+// TestMetricsTokenExemption: with a token configured, /metrics (like
+// /healthz) answers unauthenticated scrapers while the data plane
+// stays gated.
+func TestMetricsTokenExemption(t *testing.T) {
+	for _, shape := range []string{"server", "sharded"} {
+		var h http.Handler
+		o := ServerOptions{Token: "sesame", ExposeMetrics: true}
+		if shape == "server" {
+			s, err := NewServer(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h = s
+		} else {
+			ss, err := NewShardedServer(o, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h = ss
+		}
+		ts := httptest.NewServer(h)
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: unauthenticated /metrics = %s, want 200", shape, resp.Status)
+		}
+		resp, err = http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("%s: unauthenticated /v1/stats = %s, want 401", shape, resp.Status)
+		}
+		ts.Close()
+	}
+}
+
+// TestMetricsScrapeDuringUploads hammers uploads while scraping — the
+// -race half of the /metrics coverage at the collector layer.
+func TestMetricsScrapeDuringUploads(t *testing.T) {
+	s, err := NewServer(ServerOptions{ExposeMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				dev := fmt.Sprintf("p%d-%d", g, i)
+				b := srvBatch(dev, fmt.Sprintf("%s/k", dev), 1, srvRec("", "com.app", float64(i+1)))
+				postBatch(t, ts, "", b, dev)
+			}
+		}(g)
+	}
+	for i := 0; i < 20; i++ {
+		var sb strings.Builder
+		if err := s.WriteMetrics(&sb); err != nil {
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	if v, ok := s.Metrics().Get("mopeye_collector_records_total"); !ok || v != 100 {
+		t.Fatalf("records_total = %v ok=%v, want 100", v, ok)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/measure"
+	"repro/internal/metrics"
 	"repro/internal/sketch"
 )
 
@@ -82,6 +83,11 @@ type ServerOptions struct {
 	// SketchAlpha is the aggregation sketches' relative accuracy;
 	// <= 0 selects sketch.DefaultAlpha.
 	SketchAlpha float64
+	// ExposeMetrics registers GET /metrics (Prometheus text exposition)
+	// on the server. The endpoint is exempt from the token gate, like
+	// /healthz: scrapers are part of the ops plane, and the exposition
+	// carries aggregates, not records.
+	ExposeMetrics bool
 }
 
 func (o *ServerOptions) retain() bool { return o.RetainRecords != RetainOff }
@@ -134,6 +140,11 @@ type ingestShard struct {
 	keys map[string]struct{}
 	recs []measure.Record
 	agg  *agg
+
+	// recCount counts records committed to this shard over its lifetime
+	// (independent of retention, unlike len(recs)). Atomic so the
+	// metrics scrape can read per-shard skew without taking shard locks.
+	recCount atomic.Int64
 }
 
 // hashDevice returns a stable 64-bit hash of a device stamp (FNV-1a
@@ -171,6 +182,11 @@ type Server struct {
 	// spool is immutable after construction (nil when memory-only); it
 	// carries its own lock, and Close makes later Appends fail cleanly.
 	spool *Spool
+
+	// metrics is built lazily on first use (metrics.go); all its
+	// instruments are scrape-time reads over the state above.
+	metricsOnce sync.Once
+	metricsReg  *metrics.Registry
 }
 
 // NewServer builds a collector server, replaying the spool when one is
@@ -212,6 +228,9 @@ func NewServer(o ServerOptions) (*Server, error) {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if o.ExposeMetrics {
+		mux.Handle("GET /metrics", s.MetricsHandler())
+	}
 	s.mux = mux
 	return s, nil
 }
@@ -232,15 +251,18 @@ func (s *Server) commit(sh *ingestShard, b measure.Batch) {
 	if s.o.retain() {
 		sh.recs = append(sh.recs, stamped...)
 	}
+	sh.recCount.Add(int64(len(b.Records)))
 	s.c.batches.Add(1)
 	s.c.records.Add(int64(len(b.Records)))
 }
 
 // ServeHTTP dispatches the collector API. The health probe is exempt
 // from the token gate — liveness checkers rarely carry credentials,
-// and an unauthenticated "ok" reveals nothing about the dataset.
+// and an unauthenticated "ok" reveals nothing about the dataset. The
+// metrics endpoint (when exposed) sits on the same ops plane.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.o.Token != "" && r.URL.Path != "/healthz" && !authorized(r, s.o.Token) {
+	if s.o.Token != "" && r.URL.Path != "/healthz" &&
+		!(s.o.ExposeMetrics && r.URL.Path == "/metrics") && !authorized(r, s.o.Token) {
 		s.c.authFailures.Add(1)
 		http.Error(w, "bad token", http.StatusUnauthorized)
 		return

@@ -75,6 +75,9 @@ func NewShardedServer(o ServerOptions, n int) (*ShardedServer, error) {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if o.ExposeMetrics {
+		mux.Handle("GET /metrics", ss.MetricsHandler())
+	}
 	ss.mux = mux
 	return ss, nil
 }
@@ -87,7 +90,8 @@ func (ss *ShardedServer) route(device string) *Server {
 
 // ServeHTTP dispatches the combined collector API.
 func (ss *ShardedServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if ss.o.Token != "" && r.URL.Path != "/healthz" && r.URL.Path != "/v1/upload" && !authorized(r, ss.o.Token) {
+	if ss.o.Token != "" && r.URL.Path != "/healthz" && r.URL.Path != "/v1/upload" &&
+		!(ss.o.ExposeMetrics && r.URL.Path == "/metrics") && !authorized(r, ss.o.Token) {
 		http.Error(w, "bad token", http.StatusUnauthorized)
 		return
 	}

@@ -300,6 +300,28 @@ func (s *Spool) Segments() int {
 	return len(s.sealed) + 1
 }
 
+// SpoolStats is the spool's on-disk footprint.
+type SpoolStats struct {
+	Segments int   // segment files (sealed + current)
+	Bytes    int64 // total bytes across all segments
+}
+
+// Stats reports the spool's segment count and total size. The current
+// segment's size is tracked; sealed segments (immutable) are stat'd —
+// a per-scrape cost of one stat per sealed segment, bounded by
+// Compact.
+func (s *Spool) Stats() SpoolStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SpoolStats{Segments: len(s.sealed) + 1, Bytes: s.fsize}
+	for _, n := range s.sealed {
+		if fi, err := os.Stat(filepath.Join(s.dir, segName(n))); err == nil {
+			st.Bytes += fi.Size()
+		}
+	}
+	return st
+}
+
 // Compact drops every sealed segment, first preserving its dedup keys
 // in the manifest so redelivery of a compacted batch is still absorbed
 // after a restart. The records in dropped segments no longer replay:

@@ -221,6 +221,77 @@ func TestPublishWithSubscribersAllocFree(t *testing.T) {
 	}
 }
 
+// A deliberately slow consumer against a flooding producer: the
+// producer (the stand-in relay worker) must finish its flood without
+// ever blocking on the subscriber, and the accounting must be exact —
+// every produced record is either delivered (in order, no duplicates)
+// or counted on the drop counters. Nothing vanishes, nothing doubles.
+func TestSubscriptionSlowConsumerExactAccounting(t *testing.T) {
+	s := NewStore()
+	sub := s.Subscribe(8, nil)
+	const total = 5000
+
+	prodDone := make(chan struct{})
+	go func() {
+		defer close(prodDone)
+		for i := 0; i < total; i++ {
+			s.Add(brec(i))
+		}
+	}()
+
+	// The slow consumer: one record, then a dawdle three orders of
+	// magnitude longer than an Add.
+	var delivered []Record
+	consDone := make(chan struct{})
+	go func() {
+		defer close(consDone)
+		for {
+			r, ok := sub.Next(context.Background())
+			if !ok {
+				return
+			}
+			delivered = append(delivered, r)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// The bounded-drop contract: the flood completes on the producer's
+	// schedule, not the consumer's.
+	select {
+	case <-prodDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("producer stalled behind the slow consumer")
+	}
+	s.CloseSubscribers()
+	<-consDone
+
+	drops := int(sub.Dropped())
+	if len(delivered)+drops != total {
+		t.Fatalf("exact accounting: delivered %d + dropped %d = %d, want %d",
+			len(delivered), drops, len(delivered)+drops, total)
+	}
+	if drops == 0 {
+		t.Fatal("consumer was never behind: the test exercised nothing")
+	}
+	if got := int(s.DroppedRecords()); got != drops {
+		t.Errorf("store-wide drops %d != subscriber drops %d", got, drops)
+	}
+	// Delivered records are an ordered subsequence of the Add sequence:
+	// brec stamps At = Unix(0, i), so order and uniqueness reduce to
+	// strictly increasing timestamps.
+	for i := 1; i < len(delivered); i++ {
+		if !delivered[i].At.After(delivered[i-1].At) {
+			t.Fatalf("delivery %d out of order: %v after %v",
+				i, delivered[i].At, delivered[i-1].At)
+		}
+	}
+	// The store itself missed nothing: drops are a subscriber-ring
+	// phenomenon, never data loss.
+	if s.Len() != total {
+		t.Errorf("store kept %d of %d", s.Len(), total)
+	}
+}
+
 // Concurrent adders, a draining consumer, and a racing Close: the
 // -race detector is the assertion, plus conservation — every record is
 // delivered or counted as dropped.

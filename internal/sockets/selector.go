@@ -339,3 +339,25 @@ func (s *Selector) KeyCount() int {
 	defer s.mu.Unlock()
 	return len(s.keys)
 }
+
+// SelectorStats is a consistent point-in-time view of one selector,
+// taken under the selector mutex — the safe way for observability
+// code to read Selects/Wakeups, which are only coherent under s.mu.
+type SelectorStats struct {
+	Selects    int64 // Select returns
+	Wakeups    int64 // explicit Wakeup calls
+	ReadyDepth int   // keys queued ready right now
+	Keys       int   // registered keys
+}
+
+// Stats snapshots the selector's counters and queue depths.
+func (s *Selector) Stats() SelectorStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SelectorStats{
+		Selects:    s.Selects,
+		Wakeups:    s.Wakeups,
+		ReadyDepth: len(s.readyQ),
+		Keys:       len(s.keys),
+	}
+}

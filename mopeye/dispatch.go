@@ -3,6 +3,7 @@ package mopeye
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/netip"
 	"strings"
 	"sync"
@@ -60,6 +61,13 @@ type DispatchBenchOptions struct {
 	// broadcast layer's cost at the engine ceiling: zero for the
 	// baseline, 1/8 for fan-out.
 	Subscribers int
+	// Metrics arms the phone's observability registry for the flood:
+	// the engine instruments register, the RTT quantile feed
+	// subscribes, and a background scraper renders the exposition
+	// repeatedly while the flood runs. The with/without arms price the
+	// instrumentation at the engine ceiling (`paperbench -exp dispatch
+	// -metrics`); both must land within noise of each other.
+	Metrics bool
 }
 
 // DefaultDispatchBenchOptions returns a flood heavy enough to saturate
@@ -210,6 +218,32 @@ func runDispatchOnce(o DispatchBenchOptions, workers int) (DispatchBenchRow, err
 		}()
 	}
 
+	// The metrics arm: arm the registry (engine instruments + RTT
+	// quantile feed) before the flood and scrape it continuously while
+	// the flood runs, so the arm prices registration, the quantile
+	// drain, AND concurrent gathers — the full observability cost.
+	scrapeDone := make(chan struct{})
+	if o.Metrics {
+		if err := phone.WriteMetrics(io.Discard); err != nil {
+			phone.Close()
+			return DispatchBenchRow{}, err
+		}
+		go func() {
+			defer close(scrapeDone)
+			for {
+				select {
+				case <-phone.done:
+					return
+				default:
+				}
+				_ = phone.WriteMetrics(io.Discard)
+				time.Sleep(20 * time.Millisecond)
+			}
+		}()
+	} else {
+		close(scrapeDone)
+	}
+
 	payload := make([]byte, o.PayloadBytes)
 	var errCount atomic.Int64
 
@@ -294,6 +328,7 @@ func runDispatchOnce(o DispatchBenchOptions, workers int) (DispatchBenchRow, err
 	// ringed); only then are the stream counters complete.
 	phone.Close()
 	subWG.Wait()
+	<-scrapeDone
 	return DispatchBenchRow{
 		Workers:       workers,
 		Duration:      dur,

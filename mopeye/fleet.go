@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/measure"
+	"repro/internal/metrics"
 )
 
 // This file is the multi-phone scenario layer: the paper's deployment
@@ -102,6 +103,11 @@ type Fleet struct {
 	status     []FleetPhoneStatus
 	collectors []*Collector
 	dur        time.Duration
+
+	// metricsOnce builds the lazy observability registry; see
+	// metrics.go.
+	metricsOnce sync.Once
+	metricsReg  *metrics.Registry
 }
 
 // NewFleet validates the roster and builds a fleet.

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"net/netip"
 	"runtime"
@@ -64,6 +66,12 @@ type IngestBenchOptions struct {
 	// nearest-rank medians — the end-to-end sketch-accuracy check. Costs
 	// O(records) client memory; meant for smoke-sized runs.
 	VerifyExact bool
+	// MetricsAddr serves the collector's merged /metrics exposition on
+	// this address (e.g. "127.0.0.1:9137") for the duration of the run,
+	// so upload rates, dedup hits, and per-shard skew are scrapeable
+	// live mid-load (`paperbench -exp ingest -metrics-addr ...`; the CI
+	// metrics-smoke step curls it). Empty disables.
+	MetricsAddr string
 }
 
 // DefaultIngestBenchOptions returns the smoke-sized load.
@@ -176,6 +184,18 @@ func RunIngestBench(o IngestBenchOptions) (*IngestBenchResult, error) {
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
+
+	// The live ops plane: /metrics on its own listener, up for exactly
+	// the duration of the load.
+	if o.MetricsAddr != "" {
+		ln, err := net.Listen("tcp", o.MetricsAddr)
+		if err != nil {
+			return nil, fmt.Errorf("mopeye: ingest bench metrics listener: %w", err)
+		}
+		ms := &http.Server{Handler: srv.MetricsHandler()}
+		go ms.Serve(ln)
+		defer ms.Close()
+	}
 
 	apps := make([]string, o.Apps)
 	for i := range apps {

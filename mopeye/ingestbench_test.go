@@ -27,6 +27,7 @@ func TestIngestBenchSmoke(t *testing.T) {
 		ServerShards:     4,
 		Seed:             7,
 		VerifyExact:      true,
+		MetricsAddr:      "127.0.0.1:0",
 	}
 	res, err := RunIngestBench(o)
 	if err != nil {

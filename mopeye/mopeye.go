@@ -55,6 +55,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/engine"
 	"repro/internal/measure"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/phonestack"
 	"repro/internal/procnet"
@@ -174,6 +175,11 @@ type Phone struct {
 	closed bool
 	sinks  []*attachedSink
 	sinkWG sync.WaitGroup
+
+	// metricsOnce builds the lazy observability registry; see
+	// metrics.go.
+	metricsOnce sync.Once
+	metricsReg  *metrics.Registry
 }
 
 // New builds a phone, its network, and starts the engine.

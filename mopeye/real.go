@@ -1,8 +1,10 @@
 package mopeye
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"iter"
 	"net/netip"
 	"os/user"
 	"strconv"
@@ -12,6 +14,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/engine"
 	"repro/internal/measure"
+	"repro/internal/metrics"
 	"repro/internal/procnet"
 	"repro/internal/resource"
 	"repro/internal/sockets"
@@ -68,8 +71,14 @@ type RealPhone struct {
 	eng   *engine.Engine
 	store *measure.Store
 	pm    *procnet.PackageManager
+	clk   clock.Clock
 
 	closeOnce sync.Once
+
+	// metricsOnce builds the lazy observability registry; see
+	// metrics.go.
+	metricsOnce sync.Once
+	metricsReg  *metrics.Registry
 }
 
 // NewReal opens the TUN device and starts the engine against the real
@@ -136,7 +145,7 @@ func NewReal(o RealOptions) (*RealPhone, error) {
 		Meter:    resource.NewMeter(resource.DefaultCosts(), 12),
 	})
 	eng.Start()
-	return &RealPhone{dev: dev, eng: eng, store: store, pm: pm}, nil
+	return &RealPhone{dev: dev, eng: eng, store: store, pm: pm, clk: clk}, nil
 }
 
 // userName maps a host UID to its account name, the closest Linux
@@ -189,13 +198,31 @@ func (p *RealPhone) AppMedians(minN int) map[string]float64 {
 // EngineStats exposes the engine's internal counters.
 func (p *RealPhone) EngineStats() engine.Stats { return p.eng.Stats() }
 
+// Subscribe streams measurements as they are recorded, with the same
+// contract as Phone.Subscribe: registered before returning, bounded
+// ring, drops counted in StreamDrops, stream ends on ctx cancellation
+// or Close.
+func (p *RealPhone) Subscribe(ctx context.Context, f Filter) iter.Seq[Measurement] {
+	sub := p.store.Subscribe(0, f.predicate())
+	if ctx != nil {
+		context.AfterFunc(ctx, sub.Close)
+	}
+	return sub.Seq(ctx)
+}
+
+// StreamDrops reports the total measurements dropped across all
+// subscribers because a ring was full. Zero in any healthy deployment.
+func (p *RealPhone) StreamDrops() uint64 { return p.store.DroppedRecords() }
+
 // TunStats exposes the device's packet counters.
 func (p *RealPhone) TunStats() tun.Stats { return p.dev.Stats() }
 
-// Close stops the engine and closes the TUN device. Idempotent.
+// Close stops the engine, ends every live Subscribe stream (delivering
+// the records already ringed), and closes the TUN device. Idempotent.
 func (p *RealPhone) Close() {
 	p.closeOnce.Do(func() {
 		p.eng.Stop()
+		p.store.CloseSubscribers()
 		p.dev.Close()
 	})
 }
